@@ -1,0 +1,219 @@
+//! Scan-based quicksort: nested parallelism flattened into segmented scans.
+//!
+//! Blelloch's signature example (behind Section 3's segmented-scan line of
+//! work): quicksort's recursion tree is flattened into rounds that process
+//! *every* partition simultaneously. Each element's segment is one live
+//! partition; a round broadcasts each segment's pivot, three-way-splits
+//! every segment with segmented prefix sums (the offsets), scatters, and
+//! installs the new segment heads. No recursion, no per-partition
+//! dispatch — the work per round is a handful of scans over the whole
+//! array, perfectly load balanced however skewed the partitions are.
+//!
+//! Equal-to-pivot runs are finished segments, so every unsolved segment
+//! strictly shrinks and the algorithm terminates in `O(log n)` expected
+//! rounds for random pivot orderings.
+
+use sam_core::cpu::CpuScanner;
+use sam_core::op::FnOp;
+use sam_core::segmented::{scan_parallel, Element32};
+use sam_core::ScanKind;
+
+/// Sorts `keys` in place with the scan-based flattened quicksort.
+///
+/// Worst case `O(n)` rounds (sorted input with first-element pivots);
+/// intended as the segmented-scan showcase, not as a replacement for
+/// [`crate::sort::radix_sort`].
+pub fn quicksort_scan<T>(keys: &mut [T], scanner: &CpuScanner)
+where
+    T: Element32 + PartialOrd,
+{
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    // Segment heads: live partition boundaries. Solved marks elements in
+    // finished (equal-run or singleton) segments.
+    let mut heads = vec![false; n];
+    heads[0] = true;
+    let mut solved = vec![false; n];
+
+    // Left-projection is associative; under the segmented transformation
+    // it broadcasts each segment's first value to the whole segment.
+    // (The nominal identity is never consumed because index 0 is a head.)
+    let first_of = |keys: &[T], heads: &[bool], scanner: &CpuScanner| -> Vec<T> {
+        let project = FnOp::new(keys[0], |a: T, _b: T| a);
+        scan_parallel(keys, heads, &project, ScanKind::Inclusive, scanner)
+    };
+
+    loop {
+        if solved.iter().all(|&s| s) {
+            return;
+        }
+
+        // Pivot of every segment, broadcast to each element.
+        let pivots = first_of(keys, &heads, scanner);
+
+        // Three-way flags.
+        let less: Vec<u32> = (0..n)
+            .map(|i| u32::from(!solved[i] && keys[i] < pivots[i]))
+            .collect();
+        let equal: Vec<u32> = (0..n)
+            .map(|i| u32::from(!solved[i] && !(keys[i] < pivots[i]) && !(pivots[i] < keys[i])))
+            .collect();
+        let greater: Vec<u32> = (0..n)
+            .map(|i| u32::from(!solved[i] && pivots[i] < keys[i]))
+            .collect();
+
+        // Per-element exclusive offsets within the segment, per class.
+        let sum = FnOp::new(0u32, |a: u32, b: u32| a.wrapping_add(b));
+        let less_x = scan_parallel(&less, &heads, &sum, ScanKind::Exclusive, scanner);
+        let equal_x = scan_parallel(&equal, &heads, &sum, ScanKind::Exclusive, scanner);
+        let greater_x = scan_parallel(&greater, &heads, &sum, ScanKind::Exclusive, scanner);
+
+        // Per-segment geometry (starts, class totals) from the heads —
+        // O(n) bookkeeping outside the scans.
+        let mut seg_start = vec![0usize; n];
+        let mut start = 0;
+        for i in 0..n {
+            if heads[i] {
+                start = i;
+            }
+            seg_start[i] = start;
+        }
+        let mut seg_end = vec![0usize; n]; // exclusive
+        let mut end = n;
+        for i in (0..n).rev() {
+            seg_end[i] = end;
+            if heads[i] {
+                end = i;
+            }
+        }
+        let totals = |x: &[u32], f: &[u32], i: usize| -> u32 {
+            let last = seg_end[i] - 1;
+            x[last] + f[last]
+        };
+
+        // Scatter into the three-way layout and install new heads.
+        let mut new_keys: Vec<T> = keys.to_vec();
+        let mut new_heads = vec![false; n];
+        let mut new_solved = solved.clone();
+        for i in 0..n {
+            if solved[i] {
+                new_keys[i] = keys[i];
+                new_heads[i] = heads[i];
+                continue;
+            }
+            let s = seg_start[i];
+            let total_less = totals(&less_x, &less, i) as usize;
+            let total_equal = totals(&equal_x, &equal, i) as usize;
+            let dst = if less[i] == 1 {
+                s + less_x[i] as usize
+            } else if equal[i] == 1 {
+                s + total_less + equal_x[i] as usize
+            } else {
+                s + total_less + total_equal + greater_x[i] as usize
+            };
+            new_keys[dst] = keys[i];
+
+            // Head/solved flags are a function of the segment geometry;
+            // set them once per segment (at its head element).
+            if heads[i] {
+                let len = seg_end[i] - s;
+                let (l, e) = (total_less, total_equal);
+                let g = len - l - e;
+                if l > 0 {
+                    new_heads[s] = true;
+                    if l == 1 {
+                        new_solved[s] = true;
+                    }
+                }
+                if e > 0 {
+                    new_heads[s + l] = true;
+                    // Equal runs are finished.
+                    for j in s + l..s + l + e {
+                        new_solved[j] = true;
+                    }
+                }
+                if g > 0 {
+                    new_heads[s + l + e] = true;
+                    if g == 1 {
+                        new_solved[s + l + e] = true;
+                    }
+                }
+            }
+        }
+        keys.copy_from_slice(&new_keys);
+        heads = new_heads;
+        solved = new_solved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanner() -> CpuScanner {
+        CpuScanner::new(3).with_chunk_elems(200)
+    }
+
+    fn check(mut v: Vec<i32>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        quicksort_scan(&mut v, &scanner());
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn random_data() {
+        let mut state = 99u64;
+        let v: Vec<i32> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as i32 - (1 << 22)
+            })
+            .collect();
+        check(v);
+    }
+
+    #[test]
+    fn heavy_duplicates_terminate_quickly() {
+        let mut state = 7u64;
+        let v: Vec<i32> = (0..4000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 60) % 4) as i32
+            })
+            .collect();
+        check(v);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        check((0..300).collect());
+        check((0..300).rev().collect());
+    }
+
+    #[test]
+    fn all_equal() {
+        check(vec![42; 1000]);
+    }
+
+    #[test]
+    fn small_inputs() {
+        check(vec![]);
+        check(vec![1]);
+        check(vec![2, 1]);
+        check(vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn floats_sort_too() {
+        let mut v: Vec<f32> = (0..1000)
+            .map(|i| ((i * 7919) % 997) as f32 * 0.5 - 200.0)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        quicksort_scan(&mut v, &scanner());
+        assert_eq!(v, expect);
+    }
+}

@@ -1,0 +1,80 @@
+//! Lexicographic string comparison with scans (Blelloch's list).
+//!
+//! Comparing long strings is decided by the *first* differing position —
+//! a serial-looking search that becomes a min-scan: mark every mismatch
+//! position, take the running minimum of marked indices, and read the
+//! final element. All positions are examined in parallel; the scan
+//! resolves which mismatch is first.
+
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Min;
+use sam_core::ScanSpec;
+use std::cmp::Ordering;
+
+/// Compares `a` and `b` lexicographically using a min-scan to locate the
+/// first differing byte.
+pub fn compare(a: &[u8], b: &[u8], scanner: &CpuScanner) -> Ordering {
+    let common = a.len().min(b.len());
+    if common > 0 {
+        // Index of each mismatch, MAX elsewhere.
+        let marks: Vec<u64> = (0..common)
+            .map(|i| if a[i] != b[i] { i as u64 } else { u64::MAX })
+            .collect();
+        let mins = scanner.scan(&marks, &Min, &ScanSpec::inclusive());
+        let first = *mins.last().expect("non-empty");
+        if first != u64::MAX {
+            let i = first as usize;
+            return a[i].cmp(&b[i]);
+        }
+    }
+    // Equal over the common prefix: the shorter string sorts first.
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanner() -> CpuScanner {
+        CpuScanner::new(3).with_chunk_elems(256)
+    }
+
+    #[test]
+    fn agrees_with_std_on_pairs() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"apple", b"apply"),
+            (b"apple", b"apple"),
+            (b"apple", b"app"),
+            (b"", b"a"),
+            (b"", b""),
+            (b"zzz", b"aaa"),
+        ];
+        for &(a, b) in cases {
+            assert_eq!(
+                compare(a, b, &scanner()),
+                a.cmp(b),
+                "{:?} vs {:?}",
+                String::from_utf8_lossy(a),
+                String::from_utf8_lossy(b)
+            );
+        }
+    }
+
+    #[test]
+    fn long_strings_with_late_difference() {
+        let mut a = vec![b'x'; 50_000];
+        let mut b = a.clone();
+        assert_eq!(compare(&a, &b, &scanner()), Ordering::Equal);
+        b[49_999] = b'y';
+        assert_eq!(compare(&a, &b, &scanner()), Ordering::Less);
+        a[25_000] = b'z'; // earlier difference dominates
+        assert_eq!(compare(&a, &b, &scanner()), Ordering::Greater);
+    }
+
+    #[test]
+    fn first_difference_wins_over_later_ones() {
+        let a = b"abcdefgh";
+        let b = b"abXdefZh";
+        assert_eq!(compare(a, b, &scanner()), a.as_slice().cmp(b.as_slice()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benches for SAM's design choices (DESIGN.md § testing):
+//!
+//! * **auxiliary-array mode** — the paper's O(1) circular buffers (with the
+//!   simulator's watermark pacing) versus unbounded per-chunk slots; the
+//!   protocol work is identical, so the wall-clock difference bounds the
+//!   pacing overhead;
+//! * **items per thread** — the knob the StreamScan-style auto-tuner
+//!   chooses; sweeping it exposes the chunk-size trade-off of Section 2.5
+//!   (`c = k·n/e`: bigger chunks mean fewer carries);
+//! * **worker count** — scaling of the real CPU engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{DeviceSpec, Gpu};
+use sam_bench::workload;
+use sam_core::cpu::CpuScanner;
+use sam_core::kernel::{scan_on_gpu, AuxMode, SamParams};
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+use std::hint::black_box;
+
+fn bench_aux_mode(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = workload::uniform_i32(n, 19);
+    let spec = ScanSpec::inclusive();
+    let mut g = c.benchmark_group("ablation/aux-mode");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for (label, aux) in [("per-chunk", AuxMode::PerChunk), ("ring-3k", AuxMode::Ring)] {
+        let params = SamParams {
+            items_per_thread: 1,
+            aux,
+            ..SamParams::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let gpu = Gpu::new(DeviceSpec::k40());
+                scan_on_gpu(&gpu, black_box(&data), &Sum, &spec, &params)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_items_per_thread(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = workload::uniform_i32(n, 23);
+    let spec = ScanSpec::inclusive();
+    let mut g = c.benchmark_group("ablation/items-per-thread");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for ipt in [1usize, 4, 16] {
+        let params = SamParams {
+            items_per_thread: ipt,
+            ..SamParams::default()
+        };
+        g.bench_function(BenchmarkId::from_parameter(ipt), |b| {
+            b.iter(|| {
+                let gpu = Gpu::new(DeviceSpec::k40());
+                scan_on_gpu(&gpu, black_box(&data), &Sum, &spec, &params)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = workload::uniform_i64(n, 29);
+    let spec = ScanSpec::inclusive();
+    let mut g = c.benchmark_group("ablation/cpu-workers");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let scanner = CpuScanner::new(workers).with_chunk_elems(32 * 1024);
+        g.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| scanner.scan(black_box(&data), &Sum, &spec))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aux_mode, bench_items_per_thread, bench_worker_scaling);
+criterion_main!(benches);

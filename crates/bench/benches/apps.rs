@@ -1,0 +1,75 @@
+//! Benchmarks the scan applications end to end: the realistic integration
+//! workloads of `sam-apps` (sorting, lexing, RLE) against their obvious
+//! serial counterparts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sam_bench::workload;
+use sam_core::cpu::CpuScanner;
+use std::hint::black_box;
+
+fn bench_sorting(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data: Vec<u32> = workload::uniform_i32(n, 31).iter().map(|&v| v as u32).collect();
+    let mut g = c.benchmark_group("apps/sort");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("radix-sort", |b| {
+        b.iter(|| {
+            let mut v = black_box(&data).clone();
+            sam_apps::radix_sort(&mut v);
+            v
+        })
+    });
+    g.bench_function("std-unstable-sort", |b| {
+        b.iter(|| {
+            let mut v = black_box(&data).clone();
+            v.sort_unstable();
+            v
+        })
+    });
+    g.finish();
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let mut src = Vec::new();
+    for i in 0..4000 {
+        src.extend_from_slice(format!("tok_{i} = {i} * (x_{i} + 7) ;\n").as_bytes());
+    }
+    let scanner = CpuScanner::default();
+    let mut g = c.benchmark_group("apps/lexer");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.sample_size(10);
+    g.bench_function("serial-dfa", |b| {
+        b.iter(|| sam_apps::lexer::tokenize_serial(black_box(&src)))
+    });
+    g.bench_function("composition-scan", |b| {
+        b.iter(|| sam_apps::tokenize(black_box(&src), &scanner))
+    });
+    g.finish();
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let mut data = Vec::new();
+    let mut state = 5u64;
+    while data.len() < 1 << 18 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let v = (state >> 60) as u8;
+        let len = (state >> 33) % 40 + 1;
+        data.extend(std::iter::repeat_n(v, len as usize));
+    }
+    let scanner = CpuScanner::default();
+    let runs = sam_apps::rle::encode(&data, &scanner);
+    let mut g = c.benchmark_group("apps/rle");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.sample_size(10);
+    g.bench_function("encode", |b| {
+        b.iter(|| sam_apps::rle::encode(black_box(&data), &scanner))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| sam_apps::rle::decode(black_box(&runs), &scanner))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorting, bench_lexer, bench_rle);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks the motivating application: delta compression
+//! (Section 1's model + coder pipeline).
+//!
+//! Measures compression and decompression throughput for first- and
+//! higher-order codecs, with and without tuple awareness. Decompression is
+//! the prefix-sum-bound direction — the reason the paper exists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sam_bench::workload;
+use sam_delta::DeltaCodec;
+use std::hint::black_box;
+
+fn bench_delta(c: &mut Criterion) {
+    let frames = 1 << 17;
+    let s = 3;
+    let data = workload::tuple_trends_i64(frames, s, 17);
+    let n = data.len();
+
+    let mut g = c.benchmark_group("delta/pipeline");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    for (label, order, tuple) in [
+        ("order1", 1u32, 1usize),
+        ("order2", 2, 1),
+        ("order2-3tuple", 2, 3),
+    ] {
+        let codec = DeltaCodec::new(order, tuple).expect("valid codec");
+        let packed = codec.compress(&data);
+        g.bench_function(BenchmarkId::new("compress", label), |b| {
+            b.iter(|| codec.compress(black_box(&data)))
+        });
+        g.bench_function(BenchmarkId::new("decompress", label), |b| {
+            b.iter(|| codec.decompress::<i64>(black_box(&packed)).expect("valid stream"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion companion to Figures 15–16: carry-propagation schemes.
+//!
+//! Runs the actual persistent-block kernels (real OS threads, real fences
+//! and flag polling) with SAM's write-followed-by-independent-reads scheme
+//! versus the chained read-modify-write scheme. The chained scheme's
+//! serial dependence chain is a real effect on the host too: every chunk
+//! completion waits for its predecessor's *total*, so the measured wall
+//! time degrades — the same mechanism the paper measures on the GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{DeviceSpec, Gpu};
+use sam_bench::workload;
+use sam_core::kernel::{scan_on_gpu, AuxMode, CarryPropagation, SamParams};
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+use std::hint::black_box;
+
+fn bench_carry(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = workload::uniform_i32(n, 13);
+    let spec = ScanSpec::inclusive();
+
+    let mut g = c.benchmark_group("fig15-16/carry-schemes");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    for (label, carry) in [
+        ("sam-decoupled", CarryPropagation::Decoupled),
+        ("chained", CarryPropagation::Chained),
+    ] {
+        for (dev_label, spec_fn) in [
+            ("titan-x", DeviceSpec::titan_x as fn() -> DeviceSpec),
+            ("k40", DeviceSpec::k40 as fn() -> DeviceSpec),
+        ] {
+            let params = SamParams {
+                items_per_thread: 2,
+                carry,
+                aux: AuxMode::PerChunk,
+            };
+            g.bench_function(BenchmarkId::new(label, dev_label), |b| {
+                b.iter(|| {
+                    let gpu = Gpu::new(spec_fn());
+                    scan_on_gpu(&gpu, black_box(&data), &Sum, &spec, &params)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_carry);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion companion to Figures 3–6: conventional prefix-sum throughput.
+//!
+//! The paper's figures are regenerated from simulated-GPU counts by
+//! `cargo run -p sam-bench --bin figures`. This bench measures the *real*
+//! engines this workspace ships — the serial scan, the single-pass
+//! multi-threaded SAM engine, and the three-phase CPU baseline — on the
+//! host, for 32- and 64-bit elements, so regressions in the actual Rust
+//! code are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sam_bench::workload;
+use sam_baselines::ThreePhaseCpu;
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::{serial, ScanSpec};
+use std::hint::black_box;
+
+fn bench_conventional(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data32 = workload::uniform_i32(n, 3);
+    let data64 = workload::uniform_i64(n, 4);
+    let spec = ScanSpec::inclusive();
+    let sam = CpuScanner::default();
+    let three_phase = ThreePhaseCpu::default();
+
+    let mut g = c.benchmark_group("fig3-6/conventional");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("serial", "i32"), |b| {
+        b.iter(|| serial::scan(black_box(&data32), &Sum, &spec))
+    });
+    g.bench_function(BenchmarkId::new("sam-cpu", "i32"), |b| {
+        b.iter(|| sam.scan(black_box(&data32), &Sum, &spec))
+    });
+    g.bench_function(BenchmarkId::new("three-phase-cpu", "i32"), |b| {
+        b.iter(|| three_phase.scan(black_box(&data32), &Sum, &spec))
+    });
+    g.bench_function(BenchmarkId::new("serial", "i64"), |b| {
+        b.iter(|| serial::scan(black_box(&data64), &Sum, &spec))
+    });
+    g.bench_function(BenchmarkId::new("sam-cpu", "i64"), |b| {
+        b.iter(|| sam.scan(black_box(&data64), &Sum, &spec))
+    });
+    g.bench_function(BenchmarkId::new("three-phase-cpu", "i64"), |b| {
+        b.iter(|| three_phase.scan(black_box(&data64), &Sum, &spec))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conventional);
+criterion_main!(benches);

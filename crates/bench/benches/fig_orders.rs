@@ -1,0 +1,45 @@
+//! Criterion companion to Figures 7–10: higher-order prefix sums.
+//!
+//! Benchmarks SAM's native higher-order support (one data pass, iterated
+//! compute) against the only option a conventional library has — iterating
+//! the whole first-order scan — on the real CPU engines. The paper's
+//! headline (SAM's advantage grows with the order because its memory
+//! traffic does not) shows up here as the gap between `sam-native` and
+//! `iterated-three-phase` widening from order 2 to order 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sam_bench::workload;
+use sam_baselines::{iterate_scan, ThreePhaseCpu};
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+use std::hint::black_box;
+
+fn bench_orders(c: &mut Criterion) {
+    let n = 1 << 19;
+    let data = workload::uniform_i32(n, 7);
+    let sam = CpuScanner::default();
+    let three_phase = ThreePhaseCpu::default();
+
+    let mut g = c.benchmark_group("fig7-10/higher-order");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    for order in [2u32, 5, 8] {
+        let spec = ScanSpec::inclusive().with_order(order).expect("valid order");
+        g.bench_function(BenchmarkId::new("sam-native", order), |b| {
+            b.iter(|| sam.scan(black_box(&data), &Sum, &spec))
+        });
+        g.bench_function(BenchmarkId::new("iterated-three-phase", order), |b| {
+            b.iter(|| {
+                iterate_scan(black_box(&data), order, |d| {
+                    three_phase.scan(d, &Sum, &ScanSpec::inclusive())
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

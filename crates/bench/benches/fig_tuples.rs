@@ -1,0 +1,51 @@
+//! Criterion companion to Figures 11–14: tuple-based prefix sums.
+//!
+//! SAM's strided engine keeps per-thread state independent of the tuple
+//! size; the alternative — reorder into `s` separate arrays, scan each,
+//! reorder back (Section 2.3's "slow" approach) — pays two extra passes.
+//! Both run here on the real CPU engines for tuple sizes 2, 5, and 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sam_bench::workload;
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+use std::hint::black_box;
+
+/// The reordering-based tuple scan the paper describes (and rejects):
+/// gather each lane, scan it, scatter back.
+fn reorder_scan(data: &[i32], s: usize, scanner: &CpuScanner) -> Vec<i32> {
+    let mut out = vec![0i32; data.len()];
+    for lane in 0..s {
+        let gathered: Vec<i32> = data.iter().skip(lane).step_by(s).copied().collect();
+        let scanned = scanner.scan(&gathered, &Sum, &ScanSpec::inclusive());
+        for (j, v) in scanned.into_iter().enumerate() {
+            out[lane + j * s] = v;
+        }
+    }
+    out
+}
+
+fn bench_tuples(c: &mut Criterion) {
+    let n = 1 << 19;
+    let data = workload::uniform_i32(n, 11);
+    let scanner = CpuScanner::default();
+
+    let mut g = c.benchmark_group("fig11-14/tuple-based");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    for s in [2usize, 5, 8] {
+        let spec = ScanSpec::inclusive().with_tuple(s).expect("valid tuple");
+        g.bench_function(BenchmarkId::new("sam-strided", s), |b| {
+            b.iter(|| scanner.scan(black_box(&data), &Sum, &spec))
+        });
+        g.bench_function(BenchmarkId::new("reorder-scan-reorder", s), |b| {
+            b.iter(|| reorder_scan(black_box(&data), s, &scanner))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuples);
+criterion_main!(benches);

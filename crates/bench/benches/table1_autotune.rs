@@ -1,0 +1,37 @@
+//! Criterion companion to Table 1: device parameters and the auto-tuner.
+//!
+//! Table 1 itself is pure arithmetic (`cargo run -p sam-bench --bin
+//! table1`); this bench tracks the cost of the two host-side computations
+//! that depend on it — the architectural-factor sweep over all four device
+//! generations and the StreamScan-style auto-tuning pass SAM runs at
+//! installation time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceSpec;
+use sam_core::autotune::TuningTable;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/device-model");
+    g.sample_size(20);
+
+    g.bench_function("architectural-factors", |b| {
+        b.iter(|| {
+            DeviceSpec::table1()
+                .iter()
+                .map(|s| black_box(s.architectural_factor()))
+                .sum::<f64>()
+        })
+    });
+
+    for spec_fn in [DeviceSpec::titan_x as fn() -> DeviceSpec, DeviceSpec::k40] {
+        let spec = spec_fn();
+        g.bench_function(format!("autotune/{}", spec.name), |b| {
+            b.iter(|| TuningTable::tune(black_box(&spec), 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

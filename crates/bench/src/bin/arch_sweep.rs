@@ -1,0 +1,57 @@
+//! Architectural sweep (extension of Section 2.5): SAM across all four
+//! Table 1 GPU generations.
+//!
+//! Section 2.5 derives the architectural factor `af = m·b/(t·r)` — the
+//! carry-propagation work per element — and asks how it will evolve. This
+//! binary runs the actual kernel on every Table 1 device preset and prints
+//! the measured carry geometry next to `af`, connecting the formula to the
+//! implementation: the number of carries per element the kernel really
+//! performs is `k / e = af` (up to the register-reserve constant).
+//!
+//! Only the K40 and Titan X have calibrated performance tunings, so the
+//! throughput column is omitted for the older generations; the geometry
+//! columns are exact for all four.
+
+use gpu_sim::{DeviceSpec, Gpu};
+use sam_core::autotune::TuningTable;
+use sam_core::kernel::{scan_on_gpu, SamParams};
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+
+fn main() {
+    let n: usize = 1 << 22;
+    let input: Vec<i32> = (0..n as i32).map(|i| i % 3 - 1).collect();
+
+    println!("SAM carry geometry across GPU generations (n = 2^22, 32-bit)\n");
+    println!(
+        "{:<22}{:>6}{:>8}{:>10}{:>12}{:>14}{:>12}",
+        "GPU", "k", "ipt", "chunk e", "chunks", "carries/elem", "af x 1000"
+    );
+    for spec in DeviceSpec::table1() {
+        let table = TuningTable::tune(&spec, 4);
+        let params = SamParams {
+            items_per_thread: table.items_per_thread(n as u64),
+            ..SamParams::default()
+        };
+        let gpu = Gpu::new(spec.clone());
+        let (out, info) = scan_on_gpu(&gpu, &input, &Sum, &ScanSpec::inclusive(), &params);
+        assert_eq!(out.len(), n);
+        // Section 2.5: c = k * n / e total carries.
+        let carries = u64::from(info.k) * info.chunks;
+        let per_elem = carries as f64 / n as f64;
+        println!(
+            "{:<22}{:>6}{:>8}{:>10}{:>12}{:>14.5}{:>12.2}",
+            spec.name,
+            info.k,
+            params.items_per_thread,
+            info.chunk_elems,
+            info.chunks,
+            per_elem,
+            spec.architectural_factor() * 1000.0,
+        );
+    }
+    println!(
+        "\ncarries/elem tracks af = m*b/(t*r): the register-reserve constant\n\
+         (the O(r) in e = t*O(r), Section 2.5) is the ratio between columns."
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1: hardware parameters and architectural factors of
+//! the four GPU generations (Section 2.5).
+
+fn main() {
+    print!("{}", sam_bench::render_table1());
+}

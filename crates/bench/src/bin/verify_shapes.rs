@@ -1,0 +1,43 @@
+//! Prints the shape-verification report: every headline claim of the
+//! paper's Section 5 next to the reproduced quantity and a PASS/FAIL.
+//!
+//! ```text
+//! verify_shapes [--cap POW2]
+//! ```
+
+use sam_bench::shapes;
+use sam_bench::Harness;
+
+fn main() {
+    let mut cap = 16u32;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cap" => {
+                cap = it
+                    .next()
+                    .expect("--cap needs a value")
+                    .parse()
+                    .expect("--cap needs an integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: verify_shapes [--cap POW2]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let harness = Harness {
+        functional_cap: 1 << cap,
+        verify_cap: 1 << cap.min(14),
+    };
+    let checks = shapes::verify_all(&harness);
+    print!("{}", shapes::render(&checks));
+    if checks.iter().any(|c| !c.pass()) {
+        std::process::exit(1);
+    }
+}

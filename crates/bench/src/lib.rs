@@ -1,0 +1,30 @@
+//! # sam-bench — regenerates every table and figure of the paper
+//!
+//! * [`figures::figure`] — definitions of Figures 3–16 (device, element
+//!   width, series lineup, size sweep);
+//! * [`figures::render_table1`] — Table 1 (hardware parameters and
+//!   architectural factors);
+//! * [`harness::Harness`] — functional measurement on the simulated GPU +
+//!   count extrapolation + the performance model;
+//! * [`tunings`] — the calibrated count→time constants (see
+//!   `EXPERIMENTS.md` for the calibration protocol);
+//! * [`workload`] — deterministic input generators and the paper's size
+//!   grids.
+//!
+//! Binaries:
+//!
+//! * `cargo run --release -p sam-bench --bin figures [-- --fig N] [--csv]`
+//! * `cargo run --release -p sam-bench --bin table1`
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod harness;
+pub mod shapes;
+pub mod tunings;
+pub mod workload;
+
+pub use figures::{all_figure_ids, figure, render_table1, FigureDef};
+pub use harness::{Config, ElemWidth, Harness, Series, SeriesPoint};
+pub use tunings::{tuning_for, Algo};

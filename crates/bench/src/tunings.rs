@@ -1,0 +1,269 @@
+//! Per-algorithm, per-device calibration constants for the performance
+//! model.
+//!
+//! The *structure* of every result — traffic ratios (2n/3n/4n), launch
+//! counts, carry schemes, coalescing, spills — comes from instrumented
+//! functional execution. The constants here translate counts into time and
+//! encode what the paper attributes to implementation maturity rather than
+//! algorithm structure (e.g. CUB's PTX assembly and Kepler-specific kernel
+//! specializations versus SAM's fixed portable kernel, Section 3.1). They
+//! were calibrated **once**, against the headline observations of Section 5
+//! listed in `EXPERIMENTS.md`, and are *not* tuned per figure:
+//!
+//! * Titan X: SAM sustains 78.6 % of peak bandwidth (= `cudaMemcpy`);
+//!   CUB ties SAM above ~2^27 and wins below; Thrust/CUDPP at ~half.
+//! * K40: CUB is ~50 % faster than SAM at order 1 (architecture-specialized
+//!   code on a GPU whose memory-to-core clock ratio punishes SAM's
+//!   trade-off, Section 5.1); ties at order 8 (Figure 9).
+//! * Carry hops: chained carry is 64 % / 39 % slower on large inputs
+//!   (Titan X / K40, Figures 15–16).
+
+use gpu_sim::{AlgoTuning, DeviceSpec, Generation};
+
+/// The algorithms the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// SAM with the decoupled carry scheme (this paper).
+    Sam,
+    /// SAM with the chained carry scheme (Section 5.4 ablation).
+    SamChained,
+    /// CUB-style decoupled look-back.
+    Cub,
+    /// Thrust-style scan-then-propagate.
+    Thrust,
+    /// CUDPP-style three-phase scan.
+    Cudpp,
+    /// MGPU-style reduce-then-scan.
+    Mgpu,
+    /// `cudaMemcpy` roof.
+    Memcpy,
+}
+
+impl Algo {
+    /// Display name used in harness output (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Sam => "SAM",
+            Algo::SamChained => "Chained",
+            Algo::Cub => "CUB",
+            Algo::Thrust => "Thrust",
+            Algo::Cudpp => "CUDPP",
+            Algo::Mgpu => "MGPU",
+            Algo::Memcpy => "memcpy",
+        }
+    }
+
+    /// All algorithms in the conventional-scan comparison (Figures 3–6).
+    pub fn conventional_lineup() -> [Algo; 5] {
+        [Algo::Thrust, Algo::Cudpp, Algo::Cub, Algo::Sam, Algo::Memcpy]
+    }
+}
+
+/// The calibrated tuning for `algo` on `device`, scanning elements of
+/// `elem_bytes`, with tuple size `tuple` (SAM's per-tuple carry overhead
+/// derates its efficiency; see below).
+pub fn tuning_for(algo: Algo, device: &DeviceSpec, elem_bytes: u64, tuple: usize) -> AlgoTuning {
+    let base = AlgoTuning::default();
+    let mut t = match (algo, device.generation) {
+        // --- Maxwell (Titan X) ------------------------------------------
+        (Algo::Sam | Algo::SamChained, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.786,
+            // The model's uniform 64-bit width factor overcounts SAM's
+            // address-heavy instruction mix; the wider type gets a higher
+            // effective IPC (calibrated once against Figure 8's ratios).
+            ipc: if elem_bytes == 8 { 0.067 } else { 0.055 },
+            overlap_p: 4.0,
+            ramp_n_half: 2.5e6,
+            carry_hop_us: 0.84,
+            launch_overhead_us: 5.0,
+            pass_overhead_us: 2.0,
+            aux_l2_hit: 0.90,
+            ..base
+        },
+        (Algo::Cub, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.770,
+            ipc: 0.10,
+            ramp_n_half: 0.8e6,
+            carry_hop_us: 0.81,
+            launch_overhead_us: 5.0,
+            pass_overhead_us: 0.5,
+            aux_l2_hit: 0.50,
+            ..base
+        },
+        (Algo::Thrust, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.70,
+            ipc: 0.10,
+            ramp_n_half: 1.2e6,
+            launch_overhead_us: 5.0,
+            pass_overhead_us: 1.0,
+            aux_l2_hit: 0.40,
+            ..base
+        },
+        (Algo::Cudpp, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.72,
+            ipc: 0.10,
+            ramp_n_half: 0.8e6,
+            launch_overhead_us: 4.0,
+            pass_overhead_us: 0.5,
+            aux_l2_hit: 0.40,
+            ..base
+        },
+        (Algo::Mgpu, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.74,
+            ipc: 0.10,
+            ramp_n_half: 1.0e6,
+            ..base
+        },
+        (Algo::Memcpy, Generation::Maxwell) => AlgoTuning {
+            mem_efficiency: 0.786,
+            ramp_n_half: 0.8e6,
+            launch_overhead_us: 3.0,
+            pass_overhead_us: 1.0,
+            ..base
+        },
+
+        // --- Kepler (K40) -------------------------------------------------
+        (Algo::Sam | Algo::SamChained, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: 0.47,
+            ipc: if elem_bytes == 8 { 0.042 } else { 0.037 },
+            ramp_n_half: 2.0e6,
+            carry_hop_us: 1.56,
+            launch_overhead_us: 6.0,
+            pass_overhead_us: 2.5,
+            aux_l2_hit: 0.90,
+            ..base
+        },
+        (Algo::Cub, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: if elem_bytes == 8 { 0.66 } else { 0.70 },
+            ipc: 0.08,
+            ramp_n_half: 0.8e6,
+            carry_hop_us: 1.56,
+            // Kepler's caches absorb uncoalesced overfetch far less well
+            // than Maxwell's (no global-load L1); calibrated against the
+            // Figure 13 tuple crossover.
+            uncoalesced_absorb: 0.25,
+            launch_overhead_us: 6.0,
+            pass_overhead_us: 0.6,
+            aux_l2_hit: 0.50,
+            ..base
+        },
+        (Algo::Thrust, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: 0.50,
+            ipc: 0.08,
+            ramp_n_half: 1.2e6,
+            launch_overhead_us: 6.0,
+            pass_overhead_us: 1.2,
+            aux_l2_hit: 0.40,
+            ..base
+        },
+        (Algo::Cudpp, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: 0.52,
+            ipc: 0.08,
+            ramp_n_half: 0.8e6,
+            launch_overhead_us: 5.0,
+            pass_overhead_us: 0.6,
+            aux_l2_hit: 0.40,
+            ..base
+        },
+        (Algo::Mgpu, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: 0.55,
+            ipc: 0.08,
+            ramp_n_half: 1.0e6,
+            ..base
+        },
+        (Algo::Memcpy, Generation::Kepler) => AlgoTuning {
+            mem_efficiency: 0.75,
+            ramp_n_half: 0.8e6,
+            launch_overhead_us: 3.0,
+            pass_overhead_us: 1.0,
+            ..base
+        },
+
+        // --- Older generations (Table 1 only; no figure calibration) ------
+        _ => base,
+    };
+
+    // SAM's tuple-based scans maintain s carry sets per thread block; the
+    // extra registers, modulo addressing and carry bookkeeping reduce its
+    // sustained efficiency. Calibrated against Figure 11 (Titan X 32-bit:
+    // 17 % slower than CUB at s=2, 20 % faster at s=5, 34 % at s=8).
+    if matches!(algo, Algo::Sam | Algo::SamChained) && tuple > 1 {
+        // Nearly flat in s: the s carry sets cost SAM a fixed slice of its
+        // registers/occupancy up front, after which its strided design is
+        // insensitive to the tuple size ("SAM's throughput decreases more
+        // slowly with increasing tuple size", Section 5.3).
+        let derate = 1.0 + 0.33 * ((tuple - 1) as f64).powf(0.15);
+        t.mem_efficiency /= derate;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sam_matches_memcpy_efficiency_on_titan_x() {
+        let titan = DeviceSpec::titan_x();
+        let sam = tuning_for(Algo::Sam, &titan, 4, 1);
+        let roof = tuning_for(Algo::Memcpy, &titan, 4, 1);
+        assert_eq!(sam.mem_efficiency, roof.mem_efficiency);
+        assert!((sam.mem_efficiency - 0.786).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cub_is_architecture_specialized_on_kepler() {
+        let k40 = DeviceSpec::k40();
+        let cub = tuning_for(Algo::Cub, &k40, 4, 1);
+        let sam = tuning_for(Algo::Sam, &k40, 4, 1);
+        // Section 5.1: CUB exceeds SAM by ~50 % on K40 large inputs.
+        let ratio = cub.mem_efficiency / sam.mem_efficiency;
+        assert!((1.4..1.6).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn four_n_libraries_are_slower_per_byte_but_not_catastrophic() {
+        let titan = DeviceSpec::titan_x();
+        for algo in [Algo::Thrust, Algo::Cudpp, Algo::Mgpu] {
+            let t = tuning_for(algo, &titan, 4, 1);
+            assert!(t.mem_efficiency > 0.5 && t.mem_efficiency < 0.786);
+        }
+    }
+
+    #[test]
+    fn tuple_derate_grows_sublinearly() {
+        let titan = DeviceSpec::titan_x();
+        let e1 = tuning_for(Algo::Sam, &titan, 4, 1).mem_efficiency;
+        let e2 = tuning_for(Algo::Sam, &titan, 4, 2).mem_efficiency;
+        let e5 = tuning_for(Algo::Sam, &titan, 4, 5).mem_efficiency;
+        let e8 = tuning_for(Algo::Sam, &titan, 4, 8).mem_efficiency;
+        assert!(e1 > e2 && e2 > e5 && e5 > e8);
+        // Increments shrink: the paper's "throughput decreases more slowly
+        // with increasing tuple size" for SAM.
+        assert!(e1 / e2 > e5 / e8);
+    }
+
+    #[test]
+    fn cub_tuples_are_not_derated_here() {
+        // CUB's tuple penalty is *measured* (AoS transactions + spills),
+        // not encoded in the tuning.
+        let titan = DeviceSpec::titan_x();
+        let t1 = tuning_for(Algo::Cub, &titan, 4, 1);
+        let t8 = tuning_for(Algo::Cub, &titan, 4, 8);
+        assert_eq!(t1.mem_efficiency, t8.mem_efficiency);
+    }
+
+    #[test]
+    fn unknown_generations_fall_back_to_defaults() {
+        let old = DeviceSpec::c1060();
+        let t = tuning_for(Algo::Sam, &old, 4, 1);
+        assert_eq!(t.mem_efficiency, AlgoTuning::default().mem_efficiency);
+    }
+
+    #[test]
+    fn names_are_paper_legends() {
+        assert_eq!(Algo::Sam.name(), "SAM");
+        assert_eq!(Algo::Cub.name(), "CUB");
+        assert_eq!(Algo::SamChained.name(), "Chained");
+    }
+}

@@ -1,0 +1,375 @@
+//! Multi-threaded SAM on host CPU threads.
+//!
+//! This is the paper's protocol transplanted to a multicore CPU: `k`
+//! persistent workers stand in for the persistent thread blocks, each
+//! processing every `k`-th chunk; local per-lane sums are published to
+//! auxiliary arrays followed by a release of the chunk's ready counter, and
+//! consumers poll only not-yet-ready counters, then redundantly accumulate
+//! up to `k - 1` predecessor sums into their carry (Figure 2's
+//! write-followed-by-independent-reads pattern).
+//!
+//! Unlike a GPU, the host gives no fairness guarantee strong enough to
+//! bound how far a worker can run ahead, so the auxiliary arrays are sized
+//! one slot per chunk (a few kilobytes per million elements) rather than as
+//! `3k`-entry circular buffers; see [`crate::kernel::AuxMode`] for the
+//! paper-faithful ring variant on the simulator.
+//!
+//! Carries are always folded in chunk order, so scans with merely
+//! pseudo-associative operators (floating-point addition) are deterministic
+//! for a given worker count and chunk size — the property Section 3.1
+//! contrasts with CUB.
+
+use crate::chunkops;
+use crate::config::{ScanKind, ScanSpec};
+use crate::op::ScanOp;
+use gpu_sim::Pod64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reusable multi-threaded scanner with configurable worker count and
+/// chunk size.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::{cpu::CpuScanner, op::Sum, ScanSpec};
+///
+/// let scanner = CpuScanner::new(4).with_chunk_elems(1024);
+/// let input: Vec<i64> = (0..10_000).map(|i| i % 7 - 3).collect();
+/// let spec = ScanSpec::inclusive().with_order(2).unwrap();
+/// let parallel = scanner.scan(&input, &Sum, &spec);
+/// assert_eq!(parallel, sam_core::serial::scan(&input, &Sum, &spec));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuScanner {
+    workers: usize,
+    chunk_elems: usize,
+}
+
+impl Default for CpuScanner {
+    /// One worker per available hardware thread, 32Ki-element chunks.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+        CpuScanner {
+            workers,
+            chunk_elems: 32 * 1024,
+        }
+    }
+}
+
+impl CpuScanner {
+    /// Creates a scanner with `workers` persistent worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        CpuScanner {
+            workers,
+            ..CpuScanner::default()
+        }
+    }
+
+    /// Sets the chunk size in elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_elems` is zero.
+    pub fn with_chunk_elems(mut self, chunk_elems: usize) -> Self {
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        self.chunk_elems = chunk_elems;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured chunk size in elements.
+    pub fn chunk_elems(&self) -> usize {
+        self.chunk_elems
+    }
+
+    /// Scans `input` according to `spec` with operator `op`.
+    pub fn scan<T, Op>(&self, input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
+    where
+        T: Pod64,
+        Op: ScanOp<T>,
+    {
+        let mut out = vec![op.identity(); input.len()];
+        self.scan_into(input, &mut out, op, spec);
+        out
+    }
+
+    /// Scans `input` into a caller-provided buffer of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != input.len()`.
+    pub fn scan_into<T, Op>(&self, input: &[T], out: &mut [T], op: &Op, spec: &ScanSpec)
+    where
+        T: Pod64,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(input.len(), out.len(), "output length must match input");
+        let n = input.len();
+        if n == 0 {
+            return;
+        }
+        let num_chunks = chunkops::num_chunks(n, self.chunk_elems);
+        let k = self.workers.min(num_chunks);
+        if k == 1 {
+            out.copy_from_slice(input);
+            crate::serial::scan_in_place(out, op, spec);
+            return;
+        }
+
+        let q = spec.order() as usize;
+        let s = spec.tuple();
+        // Sum slot for (chunk c, iteration i, lane l).
+        let sum_idx = |c: usize, iter: usize, lane: usize| (c * q + iter) * s + lane;
+        let sums: Box<[AtomicU64]> = (0..num_chunks * q * s).map(|_| AtomicU64::new(0)).collect();
+        // Ready counters: iterations published per chunk.
+        let ready: Box<[AtomicU64]> = (0..num_chunks).map(|_| AtomicU64::new(0)).collect();
+        let out_ptr = SyncSlice(out.as_mut_ptr());
+        let chunk_elems = self.chunk_elems;
+
+        std::thread::scope(|scope| {
+            for b in 0..k {
+                let sums = &sums;
+                let ready = &ready;
+                let out_ptr = &out_ptr;
+                scope.spawn(move || {
+                    let mut prev_carry: Vec<Vec<T>> = vec![vec![op.identity(); s]; q];
+                    let mut prev_totals: Vec<Vec<T>> = vec![vec![op.identity(); s]; q];
+
+                    let mut c = b;
+                    while c < num_chunks {
+                        let range = chunkops::chunk_range(c, chunk_elems, n);
+                        let base = range.start;
+                        let mut vals = input[range.clone()].to_vec();
+
+                        let mut pre_carry_scan: Option<Vec<T>> = None;
+                        let mut final_carry: Vec<T> = vec![op.identity(); s];
+
+                        for iter in 0..q {
+                            let totals = chunkops::local_scan_with_totals(&mut vals, base, s, op);
+
+                            // Publish local sums, release the ready counter.
+                            for (lane, &t) in totals.iter().enumerate() {
+                                sums[sum_idx(c, iter, lane)]
+                                    .store(t.to_bits(), Ordering::Relaxed);
+                            }
+                            ready[c].store((iter + 1) as u64, Ordering::Release);
+
+                            // Gather predecessors (Figure 2).
+                            let first_pred = c.saturating_sub(k - 1);
+                            let mut carry: Vec<T> = if c >= k {
+                                (0..s)
+                                    .map(|l| {
+                                        op.combine(prev_carry[iter][l], prev_totals[iter][l])
+                                    })
+                                    .collect()
+                            } else {
+                                vec![op.identity(); s]
+                            };
+                            for j in first_pred..c {
+                                wait_for(&ready[j], (iter + 1) as u64);
+                                for (l, slot) in carry.iter_mut().enumerate() {
+                                    let v = T::from_bits(
+                                        sums[sum_idx(j, iter, l)].load(Ordering::Relaxed),
+                                    );
+                                    *slot = op.combine(*slot, v);
+                                }
+                            }
+
+                            prev_totals[iter] = totals;
+                            prev_carry[iter] = carry.clone();
+
+                            if iter + 1 == q && spec.kind() == ScanKind::Exclusive {
+                                pre_carry_scan = Some(std::mem::take(&mut vals));
+                                final_carry = carry;
+                            } else {
+                                chunkops::apply_carry(&mut vals, base, &carry, op);
+                            }
+                        }
+
+                        let out_vals = match pre_carry_scan {
+                            Some(scanned) => {
+                                chunkops::exclusive_outputs(&scanned, base, &final_carry, op)
+                            }
+                            None => vals,
+                        };
+                        // SAFETY: each chunk range is written by exactly one
+                        // worker (round-robin ownership), and `out` outlives
+                        // the scope.
+                        unsafe {
+                            let dst = out_ptr.0.add(base);
+                            std::ptr::copy_nonoverlapping(out_vals.as_ptr(), dst, out_vals.len());
+                        }
+
+                        c += k;
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Raw output pointer shareable across scoped workers writing disjoint
+/// chunk ranges.
+struct SyncSlice<T>(*mut T);
+// SAFETY: workers write disjoint ranges; see `scan_into`.
+unsafe impl<T: Send> Sync for SyncSlice<T> {}
+unsafe impl<T: Send> Send for SyncSlice<T> {}
+
+/// Spins until `flag` reaches at least `target`, acquiring its publication.
+/// Backs off to an OS yield so progress never depends on core count.
+fn wait_for(flag: &AtomicU64, target: u64) {
+    let mut spins = 0u32;
+    while flag.load(Ordering::Acquire) < target {
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Max, Min, Sum, Xor};
+
+    fn pseudo_random(n: usize) -> Vec<i64> {
+        let mut state = 0x243f6a8885a308d3u64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as i64) - (1 << 30)
+            })
+            .collect()
+    }
+
+    fn check(n: usize, workers: usize, chunk: usize, spec: &ScanSpec) {
+        let input = pseudo_random(n);
+        let scanner = CpuScanner::new(workers).with_chunk_elems(chunk);
+        let got = scanner.scan(&input, &Sum, spec);
+        let expect = crate::serial::scan(&input, &Sum, spec);
+        assert_eq!(got, expect, "n={n} workers={workers} chunk={chunk} spec={spec:?}");
+    }
+
+    #[test]
+    fn conventional_matches_oracle() {
+        check(100_000, 4, 1024, &ScanSpec::inclusive());
+    }
+
+    #[test]
+    fn exclusive_matches_oracle() {
+        check(50_001, 3, 777, &ScanSpec::exclusive());
+    }
+
+    #[test]
+    fn higher_order_matches_oracle() {
+        let spec = ScanSpec::inclusive().with_order(5).unwrap();
+        check(30_000, 4, 512, &spec);
+    }
+
+    #[test]
+    fn tuple_matches_oracle() {
+        let spec = ScanSpec::inclusive().with_tuple(8).unwrap();
+        check(30_000, 4, 500, &spec); // chunk not a multiple of tuple
+    }
+
+    #[test]
+    fn combined_everything() {
+        let spec = ScanSpec::exclusive()
+            .with_order(3)
+            .unwrap()
+            .with_tuple(5)
+            .unwrap();
+        check(25_000, 5, 333, &spec);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let input = pseudo_random(20_000);
+        let spec = ScanSpec::inclusive().with_order(2).unwrap();
+        let reference = crate::serial::scan(&input, &Sum, &spec);
+        for workers in [1, 2, 3, 7, 16] {
+            let got = CpuScanner::new(workers)
+                .with_chunk_elems(640)
+                .scan(&input, &Sum, &spec);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_chunks() {
+        check(3000, 64, 1000, &ScanSpec::inclusive());
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in [0, 1, 2, 5] {
+            check(n, 4, 2, &ScanSpec::inclusive());
+        }
+    }
+
+    #[test]
+    fn other_operators() {
+        let input: Vec<u32> = pseudo_random(40_000).iter().map(|&v| v as u32).collect();
+        let scanner = CpuScanner::new(4).with_chunk_elems(900);
+        let spec = ScanSpec::inclusive();
+        assert_eq!(
+            scanner.scan(&input, &Max, &spec),
+            crate::serial::scan(&input, &Max, &spec)
+        );
+        assert_eq!(
+            scanner.scan(&input, &Min, &spec),
+            crate::serial::scan(&input, &Min, &spec)
+        );
+        assert_eq!(
+            scanner.scan(&input, &Xor, &spec),
+            crate::serial::scan(&input, &Xor, &spec)
+        );
+    }
+
+    #[test]
+    fn float_scan_is_deterministic_across_runs() {
+        let input: Vec<f64> = pseudo_random(50_000)
+            .iter()
+            .map(|&v| v as f64 * 1e-6)
+            .collect();
+        let scanner = CpuScanner::new(4).with_chunk_elems(768);
+        let spec = ScanSpec::inclusive();
+        let a = scanner.scan(&input, &Sum, &spec);
+        let b = scanner.scan(&input, &Sum, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_into_reuses_buffer() {
+        let input = pseudo_random(10_000);
+        let mut out = vec![0i64; input.len()];
+        CpuScanner::new(2)
+            .with_chunk_elems(512)
+            .scan_into(&input, &mut out, &Sum, &ScanSpec::inclusive());
+        assert_eq!(out, crate::serial::scan(&input, &Sum, &ScanSpec::inclusive()));
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn scan_into_length_mismatch_panics() {
+        let mut out = vec![0i64; 3];
+        CpuScanner::new(2).scan_into(&[1i64, 2], &mut out, &Sum, &ScanSpec::inclusive());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_workers_rejected() {
+        CpuScanner::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Element types that SAM can scan.
+//!
+//! The paper evaluates 32- and 64-bit integers; the implementation is
+//! templated over the element type and the associative operator. Here the
+//! same genericity is expressed through [`ScanElement`] (any numeric type
+//! that can live in simulated device memory and be published through the
+//! auxiliary sum arrays) and [`IntElement`] (the subset supporting bitwise
+//! scans such as `xor`).
+//!
+//! Integer arithmetic is *wrapping*, matching CUDA's two's-complement
+//! semantics; this is what makes delta encoding/decoding lossless even when
+//! differences overflow.
+
+use gpu_sim::Pod64;
+
+/// A numeric element type scannable by every algorithm in this workspace.
+///
+/// Implementors provide the constants and total operations the standard
+/// operators need. All integer operations wrap (two's complement), exactly
+/// like unchecked CUDA arithmetic.
+pub trait ScanElement:
+    Pod64 + PartialEq + PartialOrd + std::fmt::Debug + std::fmt::Display + Default
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Identity of `max` (the smallest representable value).
+    const MIN_VALUE: Self;
+    /// Identity of `min` (the largest representable value).
+    const MAX_VALUE: Self;
+
+    /// Wrapping addition (plain addition for floats).
+    fn add(self, other: Self) -> Self;
+    /// Wrapping subtraction (plain subtraction for floats).
+    fn sub(self, other: Self) -> Self;
+    /// Wrapping multiplication (plain multiplication for floats).
+    fn mul(self, other: Self) -> Self;
+    /// Maximum of the two values (for floats: IEEE `max`, NaN-propagating
+    /// behaviour follows `f32::max`/`f64::max`).
+    fn max_of(self, other: Self) -> Self;
+    /// Minimum of the two values.
+    fn min_of(self, other: Self) -> Self;
+    /// Conversion from a small integer, used by tests and workload
+    /// generators.
+    fn from_i64(v: i64) -> Self;
+}
+
+/// Integer element types, additionally supporting bitwise scan operators.
+pub trait IntElement: ScanElement + Eq + Ord + std::hash::Hash {
+    /// Bitwise exclusive or.
+    fn xor(self, other: Self) -> Self;
+    /// Bitwise and.
+    fn and(self, other: Self) -> Self;
+    /// Bitwise or.
+    fn or(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scan_int {
+    ($($t:ty),*) => {$(
+        impl ScanElement for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+            #[inline]
+            fn sub(self, other: Self) -> Self {
+                self.wrapping_sub(other)
+            }
+            #[inline]
+            fn mul(self, other: Self) -> Self {
+                self.wrapping_mul(other)
+            }
+            #[inline]
+            fn max_of(self, other: Self) -> Self {
+                Ord::max(self, other)
+            }
+            #[inline]
+            fn min_of(self, other: Self) -> Self {
+                Ord::min(self, other)
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+        }
+
+        impl IntElement for $t {
+            #[inline]
+            fn xor(self, other: Self) -> Self {
+                self ^ other
+            }
+            #[inline]
+            fn and(self, other: Self) -> Self {
+                self & other
+            }
+            #[inline]
+            fn or(self, other: Self) -> Self {
+                self | other
+            }
+        }
+    )*};
+}
+
+impl_scan_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+macro_rules! impl_scan_float {
+    ($($t:ty),*) => {$(
+        impl ScanElement for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_VALUE: Self = <$t>::NEG_INFINITY;
+            const MAX_VALUE: Self = <$t>::INFINITY;
+
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                self + other
+            }
+            #[inline]
+            fn sub(self, other: Self) -> Self {
+                self - other
+            }
+            #[inline]
+            fn mul(self, other: Self) -> Self {
+                self * other
+            }
+            #[inline]
+            fn max_of(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn min_of(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_scan_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_add_matches_two_complement() {
+        assert_eq!(i32::MAX.add(1), i32::MIN);
+        assert_eq!(0u32.sub(1), u32::MAX);
+        assert_eq!((1i64 << 62).mul(4), 0);
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(i32::ZERO, 0);
+        assert_eq!(i32::ONE, 1);
+        assert_eq!(i32::MIN_VALUE, i32::MIN);
+        assert_eq!(f64::MIN_VALUE, f64::NEG_INFINITY);
+        assert_eq!(u8::MAX_VALUE, 255);
+    }
+
+    #[test]
+    fn float_ops() {
+        assert_eq!(1.5f64.add(2.25), 3.75);
+        assert_eq!(1.5f32.max_of(2.5), 2.5);
+        assert_eq!(1.5f32.min_of(2.5), 1.5);
+    }
+
+    #[test]
+    fn int_bit_ops() {
+        assert_eq!(0b1100u32.xor(0b1010), 0b0110);
+        assert_eq!(0b1100u32.and(0b1010), 0b1000);
+        assert_eq!(0b1100u32.or(0b1010), 0b1110);
+    }
+
+    #[test]
+    fn from_i64_conversions() {
+        assert_eq!(i32::from_i64(-7), -7);
+        assert_eq!(u8::from_i64(300), 44); // wraps like `as`
+        assert_eq!(f32::from_i64(3), 3.0);
+    }
+}

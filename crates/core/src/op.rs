@@ -1,0 +1,219 @@
+//! Associative scan operators.
+//!
+//! Prefix *sums* generalize to prefix *scans* by replacing addition with any
+//! binary associative operation (Section 1). [`ScanOp`] captures such an
+//! operation together with its identity; the zero-sized standard operators
+//! ([`Sum`], [`Prod`], [`Max`], [`Min`], [`Xor`], [`And`], [`Or`]) cover the
+//! cases the paper mentions (sums plus "built-in primitives like max and
+//! xor").
+//!
+//! Floating-point addition is only *pseudo-associative*; Section 3.1 notes
+//! that SAM still computes a deterministic result for a given device and
+//! input because its carry order is fixed, unlike CUB's opportunistic
+//! look-back. The simulator preserves that property: carries are always
+//! accumulated in chunk order.
+
+use crate::element::{IntElement, ScanElement};
+
+/// A binary associative operation with identity, over elements of type `T`.
+///
+/// Implementations must satisfy, for all `a`, `b`, `c`:
+///
+/// * associativity: `combine(combine(a, b), c) == combine(a, combine(b, c))`
+/// * identity: `combine(identity(), a) == a == combine(a, identity())`
+///
+/// (For floating-point `Sum`/`Prod` these hold only approximately; see the
+/// module docs.)
+pub trait ScanOp<T>: Send + Sync {
+    /// The identity element of the operation.
+    fn identity(&self) -> T;
+    /// Applies the operation.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Addition (wrapping for integers). The conventional prefix-sum operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Sum;
+
+impl<T: ScanElement> ScanOp<T> for Sum {
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.add(b)
+    }
+}
+
+/// Multiplication (wrapping for integers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Prod;
+
+impl<T: ScanElement> ScanOp<T> for Prod {
+    fn identity(&self) -> T {
+        T::ONE
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.mul(b)
+    }
+}
+
+/// Running maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Max;
+
+impl<T: ScanElement> ScanOp<T> for Max {
+    fn identity(&self) -> T {
+        T::MIN_VALUE
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.max_of(b)
+    }
+}
+
+/// Running minimum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Min;
+
+impl<T: ScanElement> ScanOp<T> for Min {
+    fn identity(&self) -> T {
+        T::MAX_VALUE
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.min_of(b)
+    }
+}
+
+/// Bitwise exclusive-or (integers only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Xor;
+
+impl<T: IntElement> ScanOp<T> for Xor {
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.xor(b)
+    }
+}
+
+/// Bitwise and (integers only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct And;
+
+impl<T: IntElement> ScanOp<T> for And {
+    fn identity(&self) -> T {
+        // all-ones: x & !0 == x
+        T::ZERO.sub(T::ONE)
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.and(b)
+    }
+}
+
+/// Bitwise or (integers only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Or;
+
+impl<T: IntElement> ScanOp<T> for Or {
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        a.or(b)
+    }
+}
+
+/// An arbitrary operator built from a closure and an identity value.
+///
+/// Useful for one-off scans without defining a new type. The caller asserts
+/// associativity.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::op::{FnOp, ScanOp};
+///
+/// // Saturating addition on u8.
+/// let op = FnOp::new(0u8, |a: u8, b: u8| a.saturating_add(b));
+/// assert_eq!(op.combine(200, 100), 255);
+/// assert_eq!(op.identity(), 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnOp<T, F> {
+    identity: T,
+    f: F,
+}
+
+impl<T: Copy, F: Fn(T, T) -> T> FnOp<T, F> {
+    /// Wraps `f` (assumed associative) with its identity element.
+    pub fn new(identity: T, f: F) -> Self {
+        FnOp { identity, f }
+    }
+}
+
+impl<T, F> ScanOp<T> for FnOp<T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    fn identity(&self) -> T {
+        self.identity
+    }
+    fn combine(&self, a: T, b: T) -> T {
+        (self.f)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_identity<T: ScanElement>(op: &impl ScanOp<T>, samples: &[T]) {
+        for &s in samples {
+            assert_eq!(op.combine(op.identity(), s), s);
+            assert_eq!(op.combine(s, op.identity()), s);
+        }
+    }
+
+    #[test]
+    fn identities_hold() {
+        let samples = [-3i32, 0, 1, 7, i32::MAX, i32::MIN];
+        check_identity(&Sum, &samples);
+        check_identity(&Prod, &samples);
+        check_identity(&Max, &samples);
+        check_identity(&Min, &samples);
+        check_identity(&Xor, &samples);
+        check_identity(&And, &samples);
+        check_identity(&Or, &samples);
+    }
+
+    #[test]
+    fn and_identity_is_all_ones() {
+        assert_eq!(<And as ScanOp<u8>>::identity(&And), 0xffu8);
+        assert_eq!(<And as ScanOp<i32>>::identity(&And), -1i32);
+    }
+
+    #[test]
+    fn sum_wraps() {
+        assert_eq!(Sum.combine(i32::MAX, 1), i32::MIN);
+    }
+
+    #[test]
+    fn max_min_behave() {
+        assert_eq!(Max.combine(3i64, -5), 3);
+        assert_eq!(Min.combine(3i64, -5), -5);
+        assert_eq!(Max.combine(2.5f64, 7.25), 7.25);
+    }
+
+    #[test]
+    fn float_sum_identity() {
+        check_identity::<f64>(&Sum, &[1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    fn fn_op_works_as_scan_op() {
+        let op = FnOp::new(i32::MIN, |a: i32, b: i32| a.max(b));
+        assert_eq!(op.combine(4, 9), 9);
+        assert_eq!(op.identity(), i32::MIN);
+    }
+}

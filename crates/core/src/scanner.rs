@@ -1,0 +1,212 @@
+//! High-level scanner builder: one entry point over the three engines.
+//!
+//! [`Scanner`] bundles a [`ScanSpec`] with an execution [`Engine`] choice,
+//! so application code configures once and scans many times:
+//!
+//! ```
+//! use sam_core::scanner::{Engine, Scanner};
+//! use sam_core::op::Sum;
+//!
+//! let scanner = Scanner::inclusive()
+//!     .order(2)?
+//!     .tuple(2)?
+//!     .engine(Engine::cpu(4));
+//! let out = scanner.scan(&[1i64, 10, 2, 20, 3, 30], &Sum);
+//! assert_eq!(out.len(), 6);
+//! # Ok::<(), sam_core::SpecError>(())
+//! ```
+
+use crate::config::{ScanKind, ScanSpec, SpecError};
+use crate::cpu::CpuScanner;
+use crate::element::ScanElement;
+use crate::kernel::{scan_on_gpu, SamParams};
+use crate::op::ScanOp;
+use gpu_sim::{DeviceSpec, Gpu};
+
+/// Which engine executes the scan.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// The serial reference implementation.
+    Serial,
+    /// The multi-threaded SAM engine.
+    Cpu(CpuScanner),
+    /// Adaptive: serial below a size threshold, CPU engine above.
+    Auto {
+        /// Crossover size in elements.
+        threshold: usize,
+    },
+    /// The instrumented SAM kernel on a simulated device.
+    Simulated {
+        /// Device to simulate.
+        device: DeviceSpec,
+        /// Kernel parameters.
+        params: SamParams,
+    },
+}
+
+impl Engine {
+    /// A CPU engine with `workers` threads.
+    pub fn cpu(workers: usize) -> Self {
+        Engine::Cpu(CpuScanner::new(workers))
+    }
+
+    /// The default adaptive engine.
+    pub fn auto() -> Self {
+        Engine::Auto { threshold: 1 << 16 }
+    }
+
+    /// A simulated Titan X with auto-tuned parameters.
+    pub fn simulated_titan_x() -> Self {
+        Engine::Simulated {
+            device: DeviceSpec::titan_x(),
+            params: SamParams::default(),
+        }
+    }
+}
+
+/// A configured scanner (spec + engine).
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    spec: ScanSpec,
+    engine: Engine,
+}
+
+impl Default for Scanner {
+    fn default() -> Self {
+        Scanner {
+            spec: ScanSpec::default(),
+            engine: Engine::auto(),
+        }
+    }
+}
+
+impl Scanner {
+    /// Starts from the conventional inclusive spec.
+    pub fn inclusive() -> Self {
+        Scanner::default()
+    }
+
+    /// Starts from the conventional exclusive spec.
+    pub fn exclusive() -> Self {
+        Scanner {
+            spec: ScanSpec::exclusive(),
+            ..Scanner::default()
+        }
+    }
+
+    /// Sets the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for an invalid order.
+    pub fn order(mut self, order: u32) -> Result<Self, SpecError> {
+        self.spec = self.spec.with_order(order)?;
+        Ok(self)
+    }
+
+    /// Sets the tuple size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for an invalid tuple size.
+    pub fn tuple(mut self, tuple: usize) -> Result<Self, SpecError> {
+        self.spec = self.spec.with_tuple(tuple)?;
+        Ok(self)
+    }
+
+    /// Sets the kind.
+    pub fn kind(mut self, kind: ScanKind) -> Self {
+        self.spec = self.spec.with_kind(kind);
+        self
+    }
+
+    /// Sets the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured spec.
+    pub fn spec(&self) -> &ScanSpec {
+        &self.spec
+    }
+
+    /// Scans `input` with operator `op` on the configured engine.
+    pub fn scan<T, Op>(&self, input: &[T], op: &Op) -> Vec<T>
+    where
+        T: ScanElement,
+        Op: ScanOp<T>,
+    {
+        match &self.engine {
+            Engine::Serial => crate::serial::scan(input, op, &self.spec),
+            Engine::Cpu(cpu) => cpu.scan(input, op, &self.spec),
+            Engine::Auto { threshold } => {
+                if input.len() < *threshold {
+                    crate::serial::scan(input, op, &self.spec)
+                } else {
+                    CpuScanner::default().scan(input, op, &self.spec)
+                }
+            }
+            Engine::Simulated { device, params } => {
+                let gpu = Gpu::new(device.clone());
+                scan_on_gpu(&gpu, input, op, &self.spec, params).0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+
+    fn data(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 13 % 7) - 3).collect()
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let input = data(70_000);
+        let spec_result = crate::serial::scan(
+            &input,
+            &Sum,
+            &ScanSpec::inclusive().with_order(2).unwrap(),
+        );
+        for engine in [
+            Engine::Serial,
+            Engine::cpu(3),
+            Engine::auto(),
+            Engine::Simulated {
+                device: DeviceSpec::k40(),
+                params: SamParams {
+                    items_per_thread: 2,
+                    ..SamParams::default()
+                },
+            },
+        ] {
+            let scanner = Scanner::inclusive().order(2).unwrap().engine(engine);
+            assert_eq!(scanner.scan(&input, &Sum), spec_result);
+        }
+    }
+
+    #[test]
+    fn builder_composes() {
+        let s = Scanner::exclusive().order(3).unwrap().tuple(2).unwrap();
+        assert_eq!(s.spec().order(), 3);
+        assert_eq!(s.spec().tuple(), 2);
+        assert_eq!(s.spec().kind(), ScanKind::Exclusive);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Scanner::inclusive().order(0).is_err());
+        assert!(Scanner::inclusive().tuple(0).is_err());
+    }
+
+    #[test]
+    fn auto_threshold_behaviour_is_invisible() {
+        let small = data(100);
+        let s = Scanner::inclusive().engine(Engine::Auto { threshold: 50 });
+        assert_eq!(s.scan(&small, &Sum), crate::serial::prefix_sum(&small));
+    }
+}

@@ -1,0 +1,349 @@
+//! Segmented scans.
+//!
+//! A segmented scan restarts at every segment head: given values and a
+//! head-flag vector, position `i` receives the combination of the values
+//! from its segment's head up to `i`. Segmented scans power the
+//! irregular-parallelism applications of Section 3 (Sengupta et al.'s
+//! quicksort and sparse matrix work) and compose with the machinery of
+//! this crate through the classic operator transformation: pairs
+//! `(flag, value)` under
+//!
+//! ```text
+//! (f1, v1) ⊕ (f2, v2) = (f1 | f2, if f2 { v2 } else { v1 ⊕ v2 })
+//! ```
+//!
+//! form an associative operation, so *any* unsegmented scan engine runs a
+//! segmented scan. For 32-bit-or-smaller element types the pair packs into
+//! one 64-bit word ([`Packed32`]), which lets the multi-threaded
+//! [`crate::cpu::CpuScanner`] and the simulated-GPU kernel run segmented
+//! scans unchanged — the same packing trick GPU libraries use.
+
+use crate::config::ScanKind;
+use crate::element::ScanElement;
+use crate::op::ScanOp;
+use gpu_sim::Pod64;
+use std::marker::PhantomData;
+
+/// Element types that fit in 32 bits, so a `(flag, value)` pair fits in a
+/// 64-bit word.
+pub trait Element32: ScanElement {
+    /// The value's 32-bit pattern.
+    fn to_bits32(self) -> u32;
+    /// Recovers a value from [`Element32::to_bits32`].
+    fn from_bits32(bits: u32) -> Self;
+}
+
+macro_rules! impl_element32 {
+    ($($t:ty),*) => {$(
+        impl Element32 for $t {
+            #[inline]
+            fn to_bits32(self) -> u32 {
+                self as u32
+            }
+            #[inline]
+            fn from_bits32(bits: u32) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_element32!(i8, i16, i32, u8, u16, u32);
+
+impl Element32 for f32 {
+    #[inline]
+    fn to_bits32(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits32(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+/// A `(head flag, value)` pair packed into 64 bits: flag in bit 32, value
+/// in the low word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packed32<T> {
+    bits: u64,
+    _ty: PhantomData<T>,
+}
+
+const FLAG_BIT: u64 = 1 << 32;
+
+impl<T: Element32> Packed32<T> {
+    /// Packs a flagged value.
+    pub fn new(flag: bool, value: T) -> Self {
+        Packed32 {
+            bits: u64::from(value.to_bits32()) | if flag { FLAG_BIT } else { 0 },
+            _ty: PhantomData,
+        }
+    }
+
+    /// The head flag.
+    pub fn flag(&self) -> bool {
+        self.bits & FLAG_BIT != 0
+    }
+
+    /// The value.
+    pub fn value(&self) -> T {
+        T::from_bits32(self.bits as u32)
+    }
+}
+
+impl<T: Element32> Pod64 for Packed32<T> {
+    fn to_bits(self) -> u64 {
+        self.bits
+    }
+    fn from_bits(bits: u64) -> Self {
+        Packed32 {
+            bits,
+            _ty: PhantomData,
+        }
+    }
+}
+
+/// The segmented-scan operator transformation over packed pairs.
+///
+/// Wraps any associative `Op` on `T`; the wrapped operation is associative
+/// on pairs, which is what makes segmented scans expressible as ordinary
+/// scans (Blelloch).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegmentedOp<Op> {
+    op: Op,
+}
+
+impl<Op> SegmentedOp<Op> {
+    /// Wraps `op`.
+    pub fn new(op: Op) -> Self {
+        SegmentedOp { op }
+    }
+}
+
+impl<T, Op> ScanOp<Packed32<T>> for SegmentedOp<Op>
+where
+    T: Element32,
+    Op: ScanOp<T>,
+{
+    fn identity(&self) -> Packed32<T> {
+        Packed32::new(false, self.op.identity())
+    }
+
+    fn combine(&self, a: Packed32<T>, b: Packed32<T>) -> Packed32<T> {
+        if b.flag() {
+            b
+        } else {
+            Packed32::new(a.flag(), self.op.combine(a.value(), b.value()))
+        }
+    }
+}
+
+/// Serial segmented scan for any element type (the oracle).
+///
+/// # Panics
+///
+/// Panics if `values` and `heads` differ in length.
+pub fn scan_serial<T: Copy>(
+    values: &[T],
+    heads: &[bool],
+    op: &impl ScanOp<T>,
+    kind: ScanKind,
+) -> Vec<T> {
+    assert_eq!(values.len(), heads.len(), "one head flag per value");
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = op.identity();
+    for (i, (&v, &h)) in values.iter().zip(heads).enumerate() {
+        if h || i == 0 {
+            acc = op.identity();
+        }
+        match kind {
+            ScanKind::Inclusive => {
+                acc = op.combine(acc, v);
+                out.push(acc);
+            }
+            ScanKind::Exclusive => {
+                out.push(acc);
+                acc = op.combine(acc, v);
+            }
+        }
+    }
+    out
+}
+
+/// Parallel segmented scan for 32-bit element types, running on the
+/// multi-threaded SAM engine via the pair transformation.
+///
+/// # Panics
+///
+/// Panics if `values` and `heads` differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::segmented::scan_parallel;
+/// use sam_core::cpu::CpuScanner;
+/// use sam_core::op::Sum;
+/// use sam_core::ScanKind;
+///
+/// let values = [1i32, 2, 3, 4, 5];
+/// let heads = [false, false, true, false, false];
+/// let out = scan_parallel(&values, &heads, &Sum, ScanKind::Inclusive,
+///                         &CpuScanner::new(2).with_chunk_elems(2));
+/// assert_eq!(out, vec![1, 3, 3, 7, 12]); // restarts at index 2
+/// ```
+pub fn scan_parallel<T, Op>(
+    values: &[T],
+    heads: &[bool],
+    op: &Op,
+    kind: ScanKind,
+    scanner: &crate::cpu::CpuScanner,
+) -> Vec<T>
+where
+    T: Element32,
+    Op: ScanOp<T>,
+{
+    assert_eq!(values.len(), heads.len(), "one head flag per value");
+    let packed: Vec<Packed32<T>> = values
+        .iter()
+        .zip(heads)
+        .map(|(&v, &h)| Packed32::new(h, v))
+        .collect();
+    let seg_op = SegmentedOp::new(crate::op::FnOp::new(op.identity(), |a, b| op.combine(a, b)));
+    let inclusive = scanner.scan(&packed, &seg_op, &crate::ScanSpec::inclusive());
+    match kind {
+        ScanKind::Inclusive => inclusive.iter().map(Packed32::value).collect(),
+        ScanKind::Exclusive => {
+            // exclusive[i] = identity at heads (and index 0), else
+            // inclusive[i-1] — i-1 is in the same segment by construction.
+            (0..values.len())
+                .map(|i| {
+                    if i == 0 || heads[i] {
+                        op.identity()
+                    } else {
+                        inclusive[i - 1].value()
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuScanner;
+    use crate::op::{Max, Sum};
+
+    fn heads_every(n: usize, period: usize) -> Vec<bool> {
+        (0..n).map(|i| i % period == 0).collect()
+    }
+
+    #[test]
+    fn serial_inclusive_restarts_at_heads() {
+        let values = [1i32, 1, 1, 1, 1, 1];
+        let heads = [false, false, true, false, true, false];
+        let out = scan_serial(&values, &heads, &Sum, ScanKind::Inclusive);
+        assert_eq!(out, vec![1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn serial_exclusive_restarts_at_heads() {
+        let values = [5i32, 6, 7, 8];
+        let heads = [false, false, true, false];
+        let out = scan_serial(&values, &heads, &Sum, ScanKind::Exclusive);
+        assert_eq!(out, vec![0, 5, 0, 7]);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let p = Packed32::new(true, -7i32);
+        assert!(p.flag());
+        assert_eq!(p.value(), -7);
+        let q = Packed32::<i32>::from_bits(p.to_bits());
+        assert_eq!(q, p);
+        let f = Packed32::new(false, 1.5f32);
+        assert!(!f.flag());
+        assert_eq!(f.value(), 1.5);
+    }
+
+    #[test]
+    fn segmented_op_is_associative_on_samples() {
+        let op = SegmentedOp::new(Sum);
+        let samples = [
+            Packed32::new(false, 3i32),
+            Packed32::new(true, -2),
+            Packed32::new(false, 10),
+            Packed32::new(true, 0),
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    let left = op.combine(op.combine(a, b), c);
+                    let right = op.combine(a, op.combine(b, c));
+                    assert_eq!(left, right, "a={a:?} b={b:?} c={c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_geometries() {
+        let n = 10_000;
+        let values: Vec<i32> = (0..n as i32).map(|i| i % 19 - 9).collect();
+        let heads = heads_every(n, 37);
+        for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+            let expect = scan_serial(&values, &heads, &Sum, kind);
+            for (workers, chunk) in [(2usize, 100usize), (4, 333), (8, 1024)] {
+                let scanner = CpuScanner::new(workers).with_chunk_elems(chunk);
+                let got = scan_parallel(&values, &heads, &Sum, kind, &scanner);
+                assert_eq!(got, expect, "kind={kind:?} workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_longer_than_chunks_cross_worker_boundaries() {
+        let n = 5000;
+        let values: Vec<u32> = (0..n as u32).collect();
+        // One giant segment: equals the unsegmented scan.
+        let mut heads = vec![false; n];
+        heads[0] = true;
+        let scanner = CpuScanner::new(4).with_chunk_elems(64);
+        let got = scan_parallel(&values, &heads, &Sum, ScanKind::Inclusive, &scanner);
+        assert_eq!(got, crate::serial::prefix_sum(&values));
+    }
+
+    #[test]
+    fn every_element_its_own_segment_is_identity_map() {
+        let values: Vec<i32> = (0..100).map(|i| 3 * i - 50).collect();
+        let heads = vec![true; 100];
+        let scanner = CpuScanner::new(3).with_chunk_elems(7);
+        let got = scan_parallel(&values, &heads, &Sum, ScanKind::Inclusive, &scanner);
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn max_segmented_scan() {
+        let values = [3i32, 9, 1, 7, 2, 8];
+        let heads = [false, false, false, true, false, false];
+        let out = scan_serial(&values, &heads, &Max, ScanKind::Inclusive);
+        assert_eq!(out, vec![3, 9, 9, 7, 7, 8]);
+        let scanner = CpuScanner::new(2).with_chunk_elems(2);
+        assert_eq!(
+            scan_parallel(&values, &heads, &Max, ScanKind::Inclusive, &scanner),
+            out
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let scanner = CpuScanner::new(2);
+        let got: Vec<i32> = scan_parallel(&[], &[], &Sum, ScanKind::Inclusive, &scanner);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one head flag per value")]
+    fn mismatched_lengths_panic() {
+        scan_serial(&[1i32, 2], &[true], &Sum, ScanKind::Inclusive);
+    }
+}

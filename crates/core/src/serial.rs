@@ -1,0 +1,226 @@
+//! Serial reference implementations.
+//!
+//! These are the ground truth every parallel implementation in the
+//! workspace is validated against. They implement the full generalized
+//! specification — any [`ScanOp`], any order, any tuple size, inclusive or
+//! exclusive — with the obvious loops, mirroring the serial code in
+//! Section 1 of the paper:
+//!
+//! ```text
+//! for (i = 1; i < n; i++) { A[i] = A[i] + A[i - 1]; }
+//! ```
+//!
+//! generalized to stride `s` (tuples) and iterated `q` times (order).
+
+use crate::config::{ScanKind, ScanSpec};
+use crate::op::ScanOp;
+
+/// One pass of an inclusive scan with stride `s`, in place:
+/// `a[i] = op(a[i - s], a[i])` for `i >= s`.
+///
+/// With `s = 1` this is the conventional inclusive scan; with `s > 1` it
+/// computes `s` interleaved scans (Section 2.3).
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn inclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, stride: usize) {
+    assert!(stride > 0, "stride must be positive");
+    for i in stride..data.len() {
+        data[i] = op.combine(data[i - stride], data[i]);
+    }
+}
+
+/// One pass of an exclusive scan with stride `s`, in place: position `i`
+/// receives the combination of all *earlier* elements of its residue class;
+/// the first element of each class receives the identity.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn exclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, stride: usize) {
+    assert!(stride > 0, "stride must be positive");
+    let n = data.len();
+    // Walk each residue class independently, carrying the running prefix.
+    for lane in 0..stride.min(n) {
+        let mut acc = op.identity();
+        let mut i = lane;
+        while i < n {
+            let v = data[i];
+            data[i] = acc;
+            acc = op.combine(acc, v);
+            i += stride;
+        }
+    }
+}
+
+/// Computes the generalized scan described by `spec` over `input`.
+///
+/// Order `q` iterates the strided scan `q` times; for an exclusive spec the
+/// first `q - 1` iterations are inclusive and the final one is exclusive
+/// (the natural generalization: the result is the exclusive form of the
+/// `q`-th order inclusive scan).
+pub fn scan<T: Copy>(input: &[T], op: &impl ScanOp<T>, spec: &ScanSpec) -> Vec<T> {
+    let mut out = input.to_vec();
+    scan_in_place(&mut out, op, spec);
+    out
+}
+
+/// In-place version of [`scan`].
+pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, spec: &ScanSpec) {
+    let s = spec.tuple();
+    for iter in 0..spec.order() {
+        let last = iter + 1 == spec.order();
+        match (last, spec.kind()) {
+            (true, ScanKind::Exclusive) => exclusive_strided_in_place(data, op, s),
+            _ => inclusive_strided_in_place(data, op, s),
+        }
+    }
+}
+
+/// Convenience: conventional inclusive prefix sum (order 1, tuple 1).
+///
+/// # Examples
+///
+/// ```
+/// let sums = sam_core::serial::prefix_sum(&[1i64, 1, 1, -3, 2]);
+/// assert_eq!(sums, vec![1, 2, 3, 0, 2]);
+/// ```
+pub fn prefix_sum<T: crate::element::ScanElement>(input: &[T]) -> Vec<T> {
+    scan(input, &crate::op::Sum, &ScanSpec::inclusive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Max, Sum, Xor};
+
+    /// The running example of Section 1 of the paper.
+    #[test]
+    fn paper_section1_example() {
+        let diffs = [1i32, 1, 1, 1, 1, -3, 2, 2, 2, 2];
+        let sums = scan(&diffs, &Sum, &ScanSpec::inclusive());
+        assert_eq!(sums, vec![1, 2, 3, 4, 5, 2, 4, 6, 8, 10]);
+    }
+
+    /// Section 2.4: the 2nd-order difference sequence decodes with two
+    /// iterated prefix sums.
+    #[test]
+    fn paper_section24_second_order() {
+        let second_order_diff = [1i32, 0, 0, 0, 0, -4, 5, 0, 0, 0];
+        let spec = ScanSpec::inclusive().with_order(2).unwrap();
+        let decoded = scan(&second_order_diff, &Sum, &spec);
+        assert_eq!(decoded, vec![1, 2, 3, 4, 5, 2, 4, 6, 8, 10]);
+    }
+
+    /// Section 2.3: a tuple-based scan never mixes x and y values.
+    #[test]
+    fn tuple_scan_keeps_lanes_separate() {
+        // x = 1,2,3 ; y = 10, 20, 30 interleaved.
+        let input = [1i32, 10, 2, 20, 3, 30];
+        let spec = ScanSpec::inclusive().with_tuple(2).unwrap();
+        let out = scan(&input, &Sum, &spec);
+        assert_eq!(out, vec![1, 10, 3, 30, 6, 60]);
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_by_stride() {
+        let input = [1i32, 10, 2, 20, 3, 30];
+        let spec = ScanSpec::exclusive().with_tuple(2).unwrap();
+        let out = scan(&input, &Sum, &spec);
+        assert_eq!(out, vec![0, 0, 1, 10, 3, 30]);
+    }
+
+    #[test]
+    fn exclusive_conventional() {
+        let out = scan(&[3i32, 1, 4, 1, 5], &Sum, &ScanSpec::exclusive());
+        assert_eq!(out, vec![0, 3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn higher_order_exclusive_is_shift_of_inclusive() {
+        let input = [5i64, -1, 2, 7, 0, 3, 3, -2];
+        let inc = scan(
+            &input,
+            &Sum,
+            &ScanSpec::inclusive().with_order(3).unwrap(),
+        );
+        let exc = scan(
+            &input,
+            &Sum,
+            &ScanSpec::exclusive().with_order(3).unwrap(),
+        );
+        // Exclusive = inclusive of the previous element of the same lane;
+        // for tuple 1 that is a shift with identity at the front, applied
+        // to the order-2 intermediate... easiest check: recombine.
+        // exc[i] = inc[i] - (order-2-scanned value at i), so instead verify
+        // the defining relation: inc[i] = exc[i] + intermediate[i].
+        let mut intermediate = input.to_vec();
+        inclusive_strided_in_place(&mut intermediate, &Sum, 1);
+        inclusive_strided_in_place(&mut intermediate, &Sum, 1);
+        for i in 0..input.len() {
+            assert_eq!(inc[i], exc[i] + intermediate[i]);
+        }
+    }
+
+    #[test]
+    fn order_and_tuple_compose() {
+        // Two interleaved lanes, each independently order-2 decoded.
+        let xs = [1i64, 0, 0, 0];
+        let ys = [2i64, 1, 0, 0];
+        let interleaved: Vec<i64> = xs.iter().zip(&ys).flat_map(|(&x, &y)| [x, y]).collect();
+        let spec = ScanSpec::inclusive()
+            .with_order(2)
+            .unwrap()
+            .with_tuple(2)
+            .unwrap();
+        let out = scan(&interleaved, &Sum, &spec);
+        let expect_x = scan(&xs, &Sum, &ScanSpec::inclusive().with_order(2).unwrap());
+        let expect_y = scan(&ys, &Sum, &ScanSpec::inclusive().with_order(2).unwrap());
+        let got_x: Vec<i64> = out.iter().step_by(2).copied().collect();
+        let got_y: Vec<i64> = out.iter().skip(1).step_by(2).copied().collect();
+        assert_eq!(got_x, expect_x);
+        assert_eq!(got_y, expect_y);
+    }
+
+    #[test]
+    fn max_scan() {
+        let out = scan(&[3i32, 1, 4, 1, 5, 9, 2, 6], &Max, &ScanSpec::inclusive());
+        assert_eq!(out, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn xor_scan_is_self_inverse_under_differencing() {
+        let input = [0xdeadu32, 0xbeef, 0x1234, 0xffff];
+        let scanned = scan(&input, &Xor, &ScanSpec::inclusive());
+        // xor-differencing the scan recovers the input.
+        let mut recovered = scanned.clone();
+        for i in (1..recovered.len()).rev() {
+            recovered[i] ^= scanned[i - 1];
+        }
+        assert_eq!(recovered.to_vec(), input);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(prefix_sum::<i32>(&[]), Vec::<i32>::new());
+        assert_eq!(prefix_sum(&[42i32]), vec![42]);
+        let spec = ScanSpec::exclusive().with_tuple(3).unwrap();
+        assert_eq!(scan(&[7i32], &Sum, &spec), vec![0]);
+    }
+
+    #[test]
+    fn tuple_larger_than_input() {
+        let spec = ScanSpec::inclusive().with_tuple(10).unwrap();
+        let input = [1i32, 2, 3];
+        // Every element is the first of its lane: scan is the identity map.
+        assert_eq!(scan(&input, &Sum, &spec), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wrapping_overflow_is_deterministic() {
+        let input = [i32::MAX, 1, i32::MAX, 1];
+        let out = scan(&input, &Sum, &ScanSpec::inclusive());
+        assert_eq!(out[1], i32::MIN);
+    }
+}

@@ -1,0 +1,97 @@
+//! Difference-sequence decoding — the prefix-sum side.
+//!
+//! "Delta decoding is tantamount to computing the prefix sum and can,
+//! therefore, be computed in parallel" (Section 1); an order-`q`,
+//! tuple-`s` encoding decodes with an order-`q`, tuple-`s` prefix sum.
+//! This module is a thin veneer over [`sam_core::scan`]: the whole point of
+//! the paper is that the generalized scan *is* the decoder.
+
+use sam_core::element::ScanElement;
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+
+/// Decodes a difference sequence produced with the same `spec`
+/// (order/tuple) by [`crate::encode::encode_iterated`] or
+/// [`crate::encode::encode_direct`], using the parallel scan engine.
+///
+/// The spec's kind is ignored; decoding is always the inclusive scan.
+///
+/// # Examples
+///
+/// ```
+/// use sam_delta::{encode::encode_iterated, decode::decode};
+/// use sam_core::ScanSpec;
+///
+/// let spec = ScanSpec::inclusive().with_order(2).unwrap();
+/// let values = [1i32, 2, 3, 4, 5, 2, 4, 6, 8, 10];
+/// let residuals = encode_iterated(&values, &spec);
+/// assert_eq!(decode(&residuals, &spec), values);
+/// ```
+pub fn decode<T: ScanElement>(residuals: &[T], spec: &ScanSpec) -> Vec<T> {
+    let inclusive = spec.with_kind(sam_core::ScanKind::Inclusive);
+    sam_core::scan(residuals, &Sum, &inclusive)
+}
+
+/// Decodes with the serial engine — used as the oracle in tests and for
+/// tiny buffers.
+pub fn decode_serial<T: ScanElement>(residuals: &[T], spec: &ScanSpec) -> Vec<T> {
+    let inclusive = spec.with_kind(sam_core::ScanKind::Inclusive);
+    sam_core::serial::scan(residuals, &Sum, &inclusive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_direct, encode_iterated};
+
+    fn spec(q: u32, s: usize) -> ScanSpec {
+        ScanSpec::inclusive().with_order(q).unwrap().with_tuple(s).unwrap()
+    }
+
+    fn waveform(n: usize) -> Vec<i64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                (1000.0 * (t.sin() + 0.3 * (3.1 * t).cos())) as i64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_orders_and_tuples() {
+        let values = waveform(5000);
+        for q in 1..=4 {
+            for s in [1usize, 2, 3, 8] {
+                let spec = spec(q, s);
+                let residuals = encode_iterated(&values, &spec);
+                assert_eq!(decode(&residuals, &spec), values, "q={q} s={s}");
+                assert_eq!(decode_serial(&residuals, &spec), values, "q={q} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_direct_encoder() {
+        let values = waveform(2000);
+        let spec = spec(3, 2);
+        let residuals = encode_direct(&values, &spec);
+        assert_eq!(decode(&residuals, &spec), values);
+    }
+
+    #[test]
+    fn roundtrip_with_overflow() {
+        let values = vec![i64::MAX, i64::MIN, 0, i64::MAX / 2, -1];
+        let spec = spec(2, 1);
+        let residuals = encode_iterated(&values, &spec);
+        assert_eq!(decode(&residuals, &spec), values);
+    }
+
+    #[test]
+    fn exclusive_spec_kind_is_ignored() {
+        let values = waveform(100);
+        let inc = spec(2, 2);
+        let exc = inc.with_kind(sam_core::ScanKind::Exclusive);
+        let residuals = encode_iterated(&values, &inc);
+        assert_eq!(decode(&residuals, &exc), values);
+    }
+}

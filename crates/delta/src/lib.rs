@@ -1,0 +1,41 @@
+//! # sam-delta — the data-compression pipeline that motivates SAM
+//!
+//! The paper's introduction motivates higher-order and tuple-based prefix
+//! sums with data compression: a compressor pairs a *data model* (here,
+//! order-`q`, tuple-`s` delta encoding — the model behind speech standards
+//! like G.726 and many image formats) with a *coder* (here, zigzag +
+//! LEB128). Encoding is embarrassingly parallel; decoding each value needs
+//! the previous decoded values — unless it is recast as a generalized
+//! prefix sum, which is exactly what [`sam_core`] provides.
+//!
+//! * [`encode`] — iterated and closed-form difference-sequence generation;
+//! * [`decode`] — decoding via the parallel scan engines;
+//! * [`varint`] — the zigzag/LEB128 byte coder;
+//! * [`DeltaCodec`] — the assembled compressor/decompressor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sam_delta::DeltaCodec;
+//!
+//! let codec = DeltaCodec::new(1, 2)?; // first-order, 2-tuples (e.g. stereo)
+//! let samples: Vec<i32> = (0..1000).flat_map(|i| [i, -i]).collect();
+//! let packed = codec.compress(&samples);
+//! assert_eq!(codec.decompress::<i32>(&packed)?, samples);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coder;
+pub mod decode;
+pub mod encode;
+pub mod image;
+pub mod lossy;
+pub mod model;
+pub mod stream;
+pub mod varint;
+
+pub use coder::{decompress, CodecError, DeltaCodec};
+pub use stream::{decompress_stream, StreamReader, StreamWriter};

@@ -1,0 +1,276 @@
+//! Framed streaming format.
+//!
+//! [`crate::DeltaCodec`] compresses one monolithic buffer; real
+//! decompression workloads (the paper's motivation) stream. This module
+//! frames a long sequence into independently-compressed blocks, which
+//! buys three things:
+//!
+//! * bounded memory while encoding/decoding arbitrarily long streams;
+//! * random access at frame granularity ([`StreamReader::frames`]);
+//! * frame-level parallel decompression — each frame's prefix sums are
+//!   independent, on top of the intra-frame parallelism SAM provides.
+//!
+//! Layout: `"SAMS"` magic, format version, varint frame-length hint, then
+//! per frame a varint byte length followed by a standard [`DeltaCodec`]
+//! stream (each frame is self-describing, so mixed models are legal).
+
+use crate::coder::{decompress, CodecError, DeltaCodec};
+use crate::varint::{get_uvarint, put_uvarint};
+use bytes::Buf;
+use sam_core::element::IntElement;
+
+/// Stream magic.
+const MAGIC: &[u8; 4] = b"SAMS";
+/// Stream format version.
+const VERSION: u8 = 1;
+
+/// A framing compressor wrapping a [`DeltaCodec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamWriter {
+    codec: DeltaCodec,
+    frame_values: usize,
+}
+
+impl StreamWriter {
+    /// Creates a writer that frames every `frame_values` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_values` is zero.
+    pub fn new(codec: DeltaCodec, frame_values: usize) -> Self {
+        assert!(frame_values > 0, "frame length must be positive");
+        StreamWriter {
+            codec,
+            frame_values,
+        }
+    }
+
+    /// Compresses `values` into a framed stream; frames are compressed in
+    /// parallel (they are independent by construction).
+    pub fn compress<T>(&self, values: &[T]) -> Vec<u8>
+    where
+        T: IntElement + Into<i64>,
+    {
+        let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = values
+                .chunks(self.frame_values.max(1))
+                .map(|frame| scope.spawn(move || self.codec.compress(frame)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("frame compressor does not panic"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        put_uvarint(&mut out, self.frame_values as u64);
+        for body in bodies {
+            put_uvarint(&mut out, body.len() as u64);
+            out.extend_from_slice(&body);
+        }
+        out
+    }
+}
+
+/// A parsed framed stream: frame boundaries located, bodies borrowed.
+#[derive(Debug, Clone)]
+pub struct StreamReader<'a> {
+    frames: Vec<&'a [u8]>,
+    frame_values: usize,
+}
+
+impl<'a> StreamReader<'a> {
+    /// Parses the framing (headers and lengths only — no decompression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on bad magic/version or truncated framing.
+    pub fn parse(mut bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.remaining() < 5 {
+            return Err(CodecError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = bytes.get_u8();
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let frame_values = get_uvarint(&mut bytes)? as usize;
+        let mut frames = Vec::new();
+        while bytes.has_remaining() {
+            let len = get_uvarint(&mut bytes)? as usize;
+            if bytes.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            frames.push(&bytes[..len]);
+            bytes.advance(len);
+        }
+        Ok(StreamReader {
+            frames,
+            frame_values,
+        })
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stream has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The writer's frame length hint (values per frame, last may be
+    /// short).
+    pub fn frame_values(&self) -> usize {
+        self.frame_values
+    }
+
+    /// The raw frame bodies.
+    pub fn frames(&self) -> &[&'a [u8]] {
+        &self.frames
+    }
+
+    /// Decompresses a single frame — random access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for malformed bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn frame<T: IntElement>(&self, index: usize) -> Result<Vec<T>, CodecError> {
+        decompress(self.frames[index])
+    }
+
+    /// Decompresses the whole stream, frame-parallel: each frame decodes
+    /// on its own thread (and each frame's prefix sums run on the scan
+    /// engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frame error encountered.
+    pub fn decompress_all<T>(&self) -> Result<Vec<T>, CodecError>
+    where
+        T: IntElement,
+    {
+        let results: Vec<Result<Vec<T>, CodecError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .frames
+                .iter()
+                .map(|body| scope.spawn(move || decompress::<T>(body)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("frame decoder does not panic"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+/// One-call convenience: parse and decompress a framed stream.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on any framing or body error.
+pub fn decompress_stream<T: IntElement>(bytes: &[u8]) -> Result<Vec<T>, CodecError> {
+    StreamReader::parse(bytes)?.decompress_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| (4000.0 * (i as f64 * 0.01).sin()) as i32)
+            .collect()
+    }
+
+    fn codec() -> DeltaCodec {
+        DeltaCodec::new(2, 1).expect("valid codec")
+    }
+
+    #[test]
+    fn roundtrip_multiframe() {
+        let data = wave(10_000);
+        let bytes = StreamWriter::new(codec(), 1024).compress(&data);
+        let back: Vec<i32> = decompress_stream(&bytes).expect("well-formed");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn frame_count_and_random_access() {
+        let data = wave(5000);
+        let bytes = StreamWriter::new(codec(), 1000).compress(&data);
+        let reader = StreamReader::parse(&bytes).expect("parses");
+        assert_eq!(reader.len(), 5);
+        assert_eq!(reader.frame_values(), 1000);
+        // Random access to the middle frame only.
+        let frame2: Vec<i32> = reader.frame(2).expect("frame decodes");
+        assert_eq!(frame2, data[2000..3000]);
+    }
+
+    #[test]
+    fn ragged_final_frame() {
+        let data = wave(2500);
+        let bytes = StreamWriter::new(codec(), 1000).compress(&data);
+        let reader = StreamReader::parse(&bytes).expect("parses");
+        assert_eq!(reader.len(), 3);
+        let last: Vec<i32> = reader.frame(2).expect("frame decodes");
+        assert_eq!(last.len(), 500);
+        assert_eq!(decompress_stream::<i32>(&bytes).expect("ok"), data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let bytes = StreamWriter::new(codec(), 64).compress::<i32>(&[]);
+        let reader = StreamReader::parse(&bytes).expect("parses");
+        assert!(reader.is_empty());
+        assert!(decompress_stream::<i32>(&bytes).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let data = wave(3000);
+        let bytes = StreamWriter::new(codec(), 1000).compress(&data);
+        assert!(matches!(
+            StreamReader::parse(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = StreamWriter::new(codec(), 64).compress(&wave(100));
+        bytes[1] = b'X';
+        assert!(matches!(
+            StreamReader::parse(&bytes),
+            Err(CodecError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn framing_overhead_is_small() {
+        let data = wave(100_000);
+        let whole = codec().compress(&data);
+        let framed = StreamWriter::new(codec(), 4096).compress(&data);
+        assert!(
+            framed.len() < whole.len() + whole.len() / 10 + 256,
+            "framed {} vs whole {}",
+            framed.len(),
+            whole.len()
+        );
+    }
+}

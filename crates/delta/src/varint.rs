@@ -1,0 +1,140 @@
+//! Zigzag + LEB128 variable-length byte coding.
+//!
+//! The coder half of the compression pipeline (Section 1): residuals close
+//! to zero must map to short outputs. Zigzag folds signed residuals into
+//! unsigned values with small magnitudes staying small
+//! (`0, -1, 1, -2, 2 → 0, 1, 2, 3, 4`), and LEB128 emits them in as few
+//! 7-bit groups as needed.
+
+use bytes::{Buf, BufMut};
+
+/// Maps a signed value to its zigzag unsigned form.
+pub fn zigzag64(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag64`].
+pub fn unzigzag64(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Appends `value` to `out` as LEB128 (1–10 bytes).
+pub fn put_uvarint(out: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 value from `buf`.
+///
+/// # Errors
+///
+/// Returns [`VarintError`] if the buffer ends mid-value or the encoding
+/// exceeds 10 bytes (a value that cannot fit in a `u64`).
+pub fn get_uvarint(buf: &mut impl Buf) -> Result<u64, VarintError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(VarintError::Truncated);
+        }
+        if shift >= 70 {
+            return Err(VarintError::Overlong);
+        }
+        let byte = buf.get_u8();
+        value |= u64::from(byte & 0x7f) << shift.min(63);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Error decoding a LEB128 value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The buffer ended before the value's final byte.
+    Truncated,
+    /// More than 10 continuation bytes: not a valid `u64`.
+    Overlong,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::Truncated => f.write_str("varint ended prematurely"),
+            VarintError::Overlong => f.write_str("varint exceeds 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag64(0), 0);
+        assert_eq!(zigzag64(-1), 1);
+        assert_eq!(zigzag64(1), 2);
+        assert_eq!(zigzag64(-2), 3);
+        assert_eq!(zigzag64(2), 4);
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0, 1, -1, i64::MAX, i64::MIN, 123456789, -987654321] {
+            assert_eq!(unzigzag64(zigzag64(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut cursor = &buf[..];
+        for &v in &values {
+            assert_eq!(get_uvarint(&mut cursor).unwrap(), v);
+        }
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_uvarint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1u64 << 40);
+        let mut cursor = &buf[..buf.len() - 1];
+        assert_eq!(get_uvarint(&mut cursor), Err(VarintError::Truncated));
+    }
+
+    #[test]
+    fn overlong_input_is_an_error() {
+        let buf = [0x80u8; 11];
+        let mut cursor = &buf[..];
+        assert_eq!(get_uvarint(&mut cursor), Err(VarintError::Overlong));
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared-memory bank-conflict analysis.
+//!
+//! Shared memory is divided into [`BANKS`] word-wide banks; a warp access
+//! serializes when multiple lanes hit different words in the same bank.
+//! Scan kernels historically devote considerable effort to padding their
+//! shared-memory layouts to avoid these conflicts (the CUDPP-era
+//! `CONFLICT_FREE_OFFSET` trick); this module provides the analysis those
+//! decisions are based on, and is used by tests to validate the layouts
+//! the kernels' cost accounting assumes.
+
+use crate::metrics::Metrics;
+
+/// Number of shared-memory banks (Kepler/Maxwell: 32, matching the warp
+/// width).
+pub const BANKS: usize = 32;
+
+/// Result of analysing one warp-wide shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAccess {
+    /// Number of serialized trips the hardware needs (1 = conflict free).
+    pub degree: u32,
+    /// Whether the access was a broadcast (all lanes on one word).
+    pub broadcast: bool,
+}
+
+/// Analyzes a warp's simultaneous shared-memory word indices.
+///
+/// The conflict degree is the maximum number of *distinct words* accessed
+/// within any single bank; lanes reading the same word are merged by the
+/// broadcast mechanism and do not conflict.
+pub fn analyze(indices: &[usize]) -> BankAccess {
+    let mut words_per_bank: [Vec<usize>; BANKS] = std::array::from_fn(|_| Vec::new());
+    for &idx in indices {
+        let bank = idx % BANKS;
+        if !words_per_bank[bank].contains(&idx) {
+            words_per_bank[bank].push(idx);
+        }
+    }
+    let degree = words_per_bank
+        .iter()
+        .map(|w| w.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let distinct: usize = words_per_bank.iter().map(|w| w.len()).sum();
+    BankAccess {
+        degree,
+        broadcast: distinct == 1 && indices.len() > 1,
+    }
+}
+
+/// Records a warp shared-memory access in the metrics, charging one
+/// shared access per serialized trip, and returns the analysis.
+pub fn record(m: &Metrics, indices: &[usize]) -> BankAccess {
+    let a = analyze(indices);
+    m.add_shared(u64::from(a.degree) * indices.len().min(BANKS) as u64 / BANKS as u64 + 1);
+    a
+}
+
+/// The classic conflict-free padding: spreads index `i` so that the
+/// stride-2^k access patterns of tree-based scans stay conflict free
+/// (one padding word per [`BANKS`] words).
+pub fn conflict_free_offset(i: usize) -> usize {
+    i + i / BANKS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_access_is_conflict_free() {
+        let idxs: Vec<usize> = (0..32).collect();
+        let a = analyze(&idxs);
+        assert_eq!(a.degree, 1);
+        assert!(!a.broadcast);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        let idxs = vec![7usize; 32];
+        let a = analyze(&idxs);
+        assert_eq!(a.degree, 1);
+        assert!(a.broadcast);
+    }
+
+    #[test]
+    fn stride_two_halves_the_banks() {
+        let idxs: Vec<usize> = (0..32).map(|i| i * 2).collect();
+        assert_eq!(analyze(&idxs).degree, 2);
+    }
+
+    #[test]
+    fn stride_32_is_the_worst_case() {
+        let idxs: Vec<usize> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(analyze(&idxs).degree, 32);
+    }
+
+    #[test]
+    fn padding_fixes_power_of_two_strides() {
+        for stride in [2usize, 4, 8, 16, 32] {
+            let raw: Vec<usize> = (0..32).map(|i| i * stride).collect();
+            let padded: Vec<usize> = raw.iter().map(|&i| conflict_free_offset(i)).collect();
+            let before = analyze(&raw).degree;
+            let after = analyze(&padded).degree;
+            assert!(
+                after <= 2 && after <= before,
+                "stride {stride}: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_counts_something() {
+        let m = Metrics::new();
+        let idxs: Vec<usize> = (0..32).map(|i| i * 4).collect();
+        let a = record(&m, &idxs);
+        assert_eq!(a.degree, 4);
+        assert!(m.snapshot().shared_accesses > 0);
+    }
+
+    #[test]
+    fn empty_access() {
+        assert_eq!(analyze(&[]).degree, 1);
+    }
+}

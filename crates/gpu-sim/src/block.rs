@@ -1,0 +1,233 @@
+//! Thread-block execution context.
+//!
+//! Kernels in this workspace are written in a bulk-synchronous style: a
+//! kernel is a function of a [`BlockContext`] that alternates data-parallel
+//! phases (loops over threads or warps) with [`BlockContext::barrier`]
+//! calls, mirroring how CUDA block-level code is structured around
+//! `__syncthreads()`. The simulator executes one block on one OS thread;
+//! lockstep warp semantics are provided by the slice-based primitives in
+//! [`crate::warp`].
+
+use crate::device::DeviceSpec;
+use crate::metrics::Metrics;
+use crate::trace::{EventKind, EventLog};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Per-block execution context handed to a kernel.
+///
+/// Provides the block's coordinates within the grid, the launch geometry,
+/// access to the shared [`Metrics`] sink, a shared-memory budget tracker,
+/// and a cooperative cancellation flag for persistent kernels.
+#[derive(Debug)]
+pub struct BlockContext<'a> {
+    /// Index of this block within the grid (`blockIdx.x`).
+    pub block: usize,
+    /// Number of blocks in the grid (`gridDim.x`).
+    pub grid_blocks: usize,
+    /// Threads per block for this launch (`blockDim.x`).
+    pub threads: usize,
+    device: &'a DeviceSpec,
+    metrics: &'a Metrics,
+    shared_used: usize,
+    cancelled: &'a AtomicBool,
+    trace: Option<&'a EventLog>,
+}
+
+impl<'a> BlockContext<'a> {
+    pub(crate) fn new(
+        block: usize,
+        grid_blocks: usize,
+        threads: usize,
+        device: &'a DeviceSpec,
+        metrics: &'a Metrics,
+        cancelled: &'a AtomicBool,
+    ) -> Self {
+        BlockContext {
+            block,
+            grid_blocks,
+            threads,
+            device,
+            metrics,
+            shared_used: 0,
+            cancelled,
+            trace: None,
+        }
+    }
+
+    pub(crate) fn with_trace(mut self, trace: Option<&'a EventLog>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Emits a trace event if the launch has tracing attached
+    /// ([`crate::Gpu::with_trace`]); a no-op otherwise.
+    pub fn emit(&self, chunk: u64, kind: EventKind) {
+        if let Some(log) = self.trace {
+            log.emit(self.block, chunk, kind);
+        }
+    }
+
+    /// The device this kernel is running on.
+    pub fn device(&self) -> &DeviceSpec {
+        self.device
+    }
+
+    /// The metrics sink shared by all blocks of the launch.
+    pub fn metrics(&self) -> &Metrics {
+        self.metrics
+    }
+
+    /// Width of a warp on this device (32).
+    pub fn warp_width(&self) -> usize {
+        self.device.warp_width as usize
+    }
+
+    /// Number of warps in this block.
+    pub fn warps(&self) -> usize {
+        self.threads.div_ceil(self.warp_width())
+    }
+
+    /// Block-wide barrier (`__syncthreads()`).
+    ///
+    /// Because the simulator executes a block's phases sequentially, the
+    /// barrier only needs to be recorded; correctness of phase ordering is
+    /// the kernel's sequential control flow itself.
+    pub fn barrier(&self) {
+        self.metrics.add_barrier();
+    }
+
+    /// Allocates a shared-memory array of `len` default-initialized values,
+    /// tracking the block's shared-memory footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation would exceed the device's shared memory per
+    /// SM divided by the resident blocks per SM — the same budget a real
+    /// launch of this geometry would have to respect.
+    pub fn shared_alloc<T: Default + Clone>(&mut self, len: usize) -> Vec<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        self.shared_used += bytes;
+        let budget = (self.device.shared_mem_per_sm_bytes / self.device.min_blocks_per_sm) as usize;
+        assert!(
+            self.shared_used <= budget,
+            "shared memory overflow: {} bytes used, budget {} ({})",
+            self.shared_used,
+            budget,
+            self.device.name
+        );
+        vec![T::default(); len]
+    }
+
+    /// Records `count` shared-memory accesses against the metrics.
+    pub fn note_shared_access(&self, count: u64) {
+        self.metrics.add_shared(count);
+    }
+
+    /// Device-scope memory fence (`__threadfence()`): makes this block's
+    /// prior global writes visible to other blocks before subsequent writes.
+    ///
+    /// Maps to a sequentially-consistent hardware fence and is counted.
+    pub fn threadfence(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.metrics.add_fence();
+    }
+
+    /// True when the host has requested cooperative cancellation of a
+    /// persistent kernel (used by tests and the harness to bound runaway
+    /// kernels; real SAM kernels terminate by exhausting their chunks).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Splits `n` work items into the contiguous chunk ranges this grid
+    /// processes, returning an iterator over the chunk indices owned by this
+    /// block under the persistent-block round-robin assignment (block `b`
+    /// processes chunks `b`, `b + k`, `b + 2k`, ...).
+    pub fn owned_chunks(&self, num_chunks: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.block..num_chunks).step_by(self.grid_blocks.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn ctx_fixture<'a>(
+        spec: &'a DeviceSpec,
+        metrics: &'a Metrics,
+        cancelled: &'a AtomicBool,
+    ) -> BlockContext<'a> {
+        BlockContext::new(3, 48, 1024, spec, metrics, cancelled)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let spec = DeviceSpec::titan_x();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let ctx = ctx_fixture(&spec, &m, &c);
+        assert_eq!(ctx.warp_width(), 32);
+        assert_eq!(ctx.warps(), 32);
+        assert_eq!(ctx.block, 3);
+        assert_eq!(ctx.grid_blocks, 48);
+    }
+
+    #[test]
+    fn barrier_and_fence_counted() {
+        let spec = DeviceSpec::k40();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let ctx = ctx_fixture(&spec, &m, &c);
+        ctx.barrier();
+        ctx.barrier();
+        ctx.threadfence();
+        let s = m.snapshot();
+        assert_eq!(s.barriers, 2);
+        assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn shared_alloc_within_budget() {
+        let spec = DeviceSpec::titan_x();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let mut ctx = ctx_fixture(&spec, &m, &c);
+        // Titan X: 96 KB / 2 blocks = 48 KB budget.
+        let a: Vec<i32> = ctx.shared_alloc(1024);
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn shared_alloc_overflow_panics() {
+        let spec = DeviceSpec::k40();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let mut ctx = ctx_fixture(&spec, &m, &c);
+        // K40: 64 KB split -> 32 KB... budget is shared_mem_per_sm / blocks
+        // = 48K/2 = 24K; ask for 64 KB of i64.
+        let _: Vec<i64> = ctx.shared_alloc(8192);
+    }
+
+    #[test]
+    fn owned_chunks_round_robin() {
+        let spec = DeviceSpec::titan_x();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let ctx = ctx_fixture(&spec, &m, &c); // block 3 of 48
+        let chunks: Vec<usize> = ctx.owned_chunks(100).collect();
+        assert_eq!(chunks, vec![3, 51, 99]);
+    }
+
+    #[test]
+    fn cancellation_flag_visible() {
+        let spec = DeviceSpec::titan_x();
+        let m = Metrics::new();
+        let c = AtomicBool::new(false);
+        let ctx = ctx_fixture(&spec, &m, &c);
+        assert!(!ctx.is_cancelled());
+        c.store(true, Ordering::Relaxed);
+        assert!(ctx.is_cancelled());
+    }
+}

@@ -1,0 +1,71 @@
+//! # gpu-sim — a CUDA-like execution substrate with instrumented memory
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! *Higher-Order and Tuple-Based Massively-Parallel Prefix Sums*
+//! (Maleki, Yang, Burtscher — PLDI 2016). It provides:
+//!
+//! * [`DeviceSpec`] — hardware descriptions of the four GPUs in the paper's
+//!   Table 1 (Tesla C1060, Tesla M2090, Tesla K40c, GeForce GTX Titan X),
+//!   including the architectural factor `af = m·b/(t·r)` of Section 2.5;
+//! * [`Gpu`] — grid launches ([`Gpu::launch`]) and persistent-block launches
+//!   ([`Gpu::launch_persistent`]) where each block runs on its own OS thread
+//!   and blocks communicate through global memory, exactly like the
+//!   persistent-thread CUDA kernels in the paper;
+//! * [`GlobalBuffer`] and [`AtomicWordBuffer`] — simulated global memory
+//!   with hardware-faithful coalescing instrumentation (one transaction per
+//!   distinct aligned 128-byte segment touched by a warp) and
+//!   acquire/release auxiliary words for local sums and ready flags;
+//! * [`warp`] — lockstep shuffle-based warp primitives (inclusive scan,
+//!   reduction, broadcast);
+//! * [`Metrics`] / [`MetricsSnapshot`] — exact event counts of a functional
+//!   kernel execution;
+//! * [`PerfModel`] — the analytic model that converts counts into estimated
+//!   time and throughput on a given device, reproducing the shape of the
+//!   paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_sim::{Gpu, DeviceSpec, GlobalBuffer, AccessClass};
+//!
+//! let gpu = Gpu::new(DeviceSpec::titan_x());
+//! let input = GlobalBuffer::from_vec((0..1024i32).collect());
+//! let output = GlobalBuffer::filled(1024, 0i32);
+//!
+//! // A trivial "copy" kernel: 4 blocks of 256 threads.
+//! gpu.launch(4, 256, |ctx| {
+//!     let m = ctx.metrics();
+//!     let base = ctx.block * 256;
+//!     let mut regs = vec![0i32; 256];
+//!     input.load_block(m, base, &mut regs, AccessClass::Element);
+//!     output.store_block(m, base, &regs, AccessClass::Element);
+//! });
+//!
+//! assert_eq!(output.to_vec(), input.to_vec());
+//! let counts = gpu.metrics().snapshot();
+//! assert_eq!(counts.elem_words(), 2 * 1024); // communication optimal
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod block;
+pub mod device;
+pub mod grid;
+pub mod memory;
+pub mod metrics;
+pub mod occupancy;
+pub mod perf;
+pub mod trace;
+pub mod warp;
+
+pub use bank::{analyze as analyze_banks, BankAccess, BANKS};
+pub use block::BlockContext;
+pub use device::{DeviceSpec, Generation, SEGMENT_BYTES, WARP_WIDTH};
+pub use grid::Gpu;
+pub use memory::{AtomicWordBuffer, DeviceCopy, GlobalBuffer, Pod64};
+pub use metrics::{AccessClass, Metrics, MetricsSnapshot};
+pub use occupancy::{KernelResources, Limiter, Occupancy};
+pub use perf::{AlgoTuning, Bound, CarryScheme, PerfEstimate, PerfModel, RunProfile};
+pub use trace::{Event, EventKind, EventLog};

@@ -1,0 +1,327 @@
+//! Execution metrics collected while functionally running kernels.
+//!
+//! The simulator does not model time directly while executing; instead it
+//! counts the events that determine performance on a real GPU — main-memory
+//! transactions (128-byte segments for element data, 32-byte sectors for the
+//! small auxiliary arrays), kernel launches, barriers, fences, flag polls,
+//! shuffle operations, and scalar computation — and the analytic model in
+//! [`crate::perf`] converts a [`MetricsSnapshot`] into estimated time on a
+//! given [`crate::DeviceSpec`].
+//!
+//! Counters are relaxed atomics so that persistent-block kernels running on
+//! real OS threads can share one [`Metrics`] instance.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes traffic on the element arrays (the data being scanned)
+/// from traffic on the small auxiliary arrays (local sums and ready flags).
+///
+/// The distinction matters for the performance model: SAM's auxiliary arrays
+/// are O(1)-sized circular buffers that stay resident in the L2 cache,
+/// whereas the linear auxiliary arrays of the three-phase algorithms do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Input/output element data.
+    Element,
+    /// Local-sum and ready-flag arrays.
+    Aux,
+    /// Register-spill traffic to thread-local memory (counted when a kernel
+    /// configuration exceeds the per-thread register budget).
+    Spill,
+}
+
+/// Live counters shared by every block of a running kernel.
+///
+/// All methods take `&self`; the counters are atomics with relaxed ordering
+/// (they carry no synchronization meaning, only totals).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    kernel_launches: AtomicU64,
+    elem_read_transactions: AtomicU64,
+    elem_write_transactions: AtomicU64,
+    elem_read_words: AtomicU64,
+    elem_write_words: AtomicU64,
+    aux_read_transactions: AtomicU64,
+    aux_write_transactions: AtomicU64,
+    spill_transactions: AtomicU64,
+    flag_polls: AtomicU64,
+    fences: AtomicU64,
+    barriers: AtomicU64,
+    shuffles: AtomicU64,
+    compute_ops: AtomicU64,
+    shared_accesses: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a fresh, all-zero metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a kernel launch (one grid).
+    pub fn add_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `transactions` read transactions moving `words` element words.
+    pub fn add_read(&self, class: AccessClass, transactions: u64, words: u64) {
+        match class {
+            AccessClass::Element => {
+                self.elem_read_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+                self.elem_read_words.fetch_add(words, Ordering::Relaxed);
+            }
+            AccessClass::Aux => {
+                self.aux_read_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+            }
+            AccessClass::Spill => {
+                self.spill_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records `transactions` write transactions moving `words` element words.
+    pub fn add_write(&self, class: AccessClass, transactions: u64, words: u64) {
+        match class {
+            AccessClass::Element => {
+                self.elem_write_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+                self.elem_write_words.fetch_add(words, Ordering::Relaxed);
+            }
+            AccessClass::Aux => {
+                self.aux_write_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+            }
+            AccessClass::Spill => {
+                self.spill_transactions
+                    .fetch_add(transactions, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one unsuccessful poll of a not-yet-ready flag.
+    pub fn add_poll(&self) {
+        self.flag_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a memory fence.
+    pub fn add_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block-wide barrier.
+    pub fn add_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `count` warp shuffle operations.
+    pub fn add_shuffles(&self, count: u64) {
+        self.shuffles.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records `count` scalar computation operations (operator applications,
+    /// address arithmetic bundled per element, carry additions, ...).
+    pub fn add_compute(&self, count: u64) {
+        self.compute_ops.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records `count` shared-memory accesses.
+    pub fn add_shared(&self, count: u64) {
+        self.shared_accesses.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            elem_read_transactions: self.elem_read_transactions.load(Ordering::Relaxed),
+            elem_write_transactions: self.elem_write_transactions.load(Ordering::Relaxed),
+            elem_read_words: self.elem_read_words.load(Ordering::Relaxed),
+            elem_write_words: self.elem_write_words.load(Ordering::Relaxed),
+            aux_read_transactions: self.aux_read_transactions.load(Ordering::Relaxed),
+            aux_write_transactions: self.aux_write_transactions.load(Ordering::Relaxed),
+            spill_transactions: self.spill_transactions.load(Ordering::Relaxed),
+            flag_polls: self.flag_polls.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            compute_ops: self.compute_ops.load(Ordering::Relaxed),
+            shared_accesses: self.shared_accesses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.elem_read_transactions.store(0, Ordering::Relaxed);
+        self.elem_write_transactions.store(0, Ordering::Relaxed);
+        self.elem_read_words.store(0, Ordering::Relaxed);
+        self.elem_write_words.store(0, Ordering::Relaxed);
+        self.aux_read_transactions.store(0, Ordering::Relaxed);
+        self.aux_write_transactions.store(0, Ordering::Relaxed);
+        self.spill_transactions.store(0, Ordering::Relaxed);
+        self.flag_polls.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.compute_ops.store(0, Ordering::Relaxed);
+        self.shared_accesses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of the counters in [`Metrics`], suitable for reporting
+/// and for feeding the performance model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Number of grid launches.
+    pub kernel_launches: u64,
+    /// 128-byte-segment read transactions on element data.
+    pub elem_read_transactions: u64,
+    /// 128-byte-segment write transactions on element data.
+    pub elem_write_transactions: u64,
+    /// Element words read.
+    pub elem_read_words: u64,
+    /// Element words written.
+    pub elem_write_words: u64,
+    /// Transactions reading local-sum / ready-flag arrays.
+    pub aux_read_transactions: u64,
+    /// Transactions writing local-sum / ready-flag arrays.
+    pub aux_write_transactions: u64,
+    /// Register-spill transactions to thread-local memory.
+    pub spill_transactions: u64,
+    /// Unsuccessful polls of not-yet-ready flags (scheduling dependent;
+    /// reported for interest, never used by the performance model).
+    pub flag_polls: u64,
+    /// Memory fences executed.
+    pub fences: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+    /// Warp shuffle operations.
+    pub shuffles: u64,
+    /// Scalar computation operations.
+    pub compute_ops: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total element-data transactions (reads + writes).
+    pub fn elem_transactions(&self) -> u64 {
+        self.elem_read_transactions + self.elem_write_transactions
+    }
+
+    /// Total auxiliary-array transactions (reads + writes).
+    pub fn aux_transactions(&self) -> u64 {
+        self.aux_read_transactions + self.aux_write_transactions
+    }
+
+    /// Total element words moved (reads + writes).
+    ///
+    /// A communication-optimal scan moves exactly `2 * n` words; the
+    /// three-phase algorithms move `4 * n`.
+    pub fn elem_words(&self) -> u64 {
+        self.elem_read_words + self.elem_write_words
+    }
+
+    /// Element-data bytes moved, assuming elements of `elem_bytes` each.
+    pub fn elem_bytes(&self, elem_bytes: u64) -> u64 {
+        self.elem_words() * elem_bytes
+    }
+
+    /// Difference between two snapshots (`self - earlier`), counter-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds the
+    /// corresponding counter of `self`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            elem_read_transactions: self.elem_read_transactions - earlier.elem_read_transactions,
+            elem_write_transactions: self.elem_write_transactions
+                - earlier.elem_write_transactions,
+            elem_read_words: self.elem_read_words - earlier.elem_read_words,
+            elem_write_words: self.elem_write_words - earlier.elem_write_words,
+            aux_read_transactions: self.aux_read_transactions - earlier.aux_read_transactions,
+            aux_write_transactions: self.aux_write_transactions - earlier.aux_write_transactions,
+            spill_transactions: self.spill_transactions - earlier.spill_transactions,
+            flag_polls: self.flag_polls - earlier.flag_polls,
+            fences: self.fences - earlier.fences,
+            barriers: self.barriers - earlier.barriers,
+            shuffles: self.shuffles - earlier.shuffles,
+            compute_ops: self.compute_ops - earlier.compute_ops,
+            shared_accesses: self.shared_accesses - earlier.shared_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_launch();
+        m.add_read(AccessClass::Element, 4, 128);
+        m.add_write(AccessClass::Element, 4, 128);
+        m.add_read(AccessClass::Aux, 2, 2);
+        m.add_write(AccessClass::Aux, 1, 1);
+        m.add_write(AccessClass::Spill, 7, 7);
+        m.add_poll();
+        m.add_poll();
+        m.add_fence();
+        m.add_barrier();
+        m.add_shuffles(5);
+        m.add_compute(100);
+        m.add_shared(64);
+
+        let s = m.snapshot();
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.elem_transactions(), 8);
+        assert_eq!(s.elem_words(), 256);
+        assert_eq!(s.aux_transactions(), 3);
+        assert_eq!(s.spill_transactions, 7);
+        assert_eq!(s.flag_polls, 2);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.shuffles, 5);
+        assert_eq!(s.compute_ops, 100);
+        assert_eq!(s.shared_accesses, 64);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.add_launch();
+        m.add_compute(10);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let m = Metrics::new();
+        m.add_read(AccessClass::Element, 10, 320);
+        let before = m.snapshot();
+        m.add_read(AccessClass::Element, 5, 160);
+        m.add_launch();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.elem_read_transactions, 5);
+        assert_eq!(delta.elem_read_words, 160);
+        assert_eq!(delta.kernel_launches, 1);
+    }
+
+    #[test]
+    fn elem_bytes_scales_with_word_size() {
+        let m = Metrics::new();
+        m.add_read(AccessClass::Element, 1, 32);
+        m.add_write(AccessClass::Element, 1, 32);
+        let s = m.snapshot();
+        assert_eq!(s.elem_bytes(4), 256);
+        assert_eq!(s.elem_bytes(8), 512);
+    }
+}

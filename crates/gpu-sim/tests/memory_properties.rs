@@ -1,0 +1,107 @@
+//! Property-based tests of the memory instrumentation: the coalescing
+//! model must respect hardware invariants for *any* access pattern, and
+//! the auxiliary-word protocol must be lossless under concurrency.
+
+use gpu_sim::memory::{contiguous_transactions, segments_touched};
+use gpu_sim::{AccessClass, AtomicWordBuffer, GlobalBuffer, Metrics, Pod64, SEGMENT_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A warp access can never need more transactions than lanes, nor
+    /// fewer than its address span divides into segments.
+    #[test]
+    fn transaction_count_bounds(
+        mut indices in prop::collection::vec(0usize..100_000, 1..32),
+        elem_bytes in prop_oneof![Just(4usize), Just(8usize)],
+    ) {
+        indices.sort_unstable();
+        let tx = segments_touched(&indices, elem_bytes);
+        prop_assert!(tx >= 1);
+        prop_assert!(tx <= indices.len() as u64);
+        // Distinct segments lower-bound (exact when sorted).
+        let per_seg = SEGMENT_BYTES / elem_bytes;
+        let mut segs: Vec<usize> = indices.iter().map(|&i| i / per_seg).collect();
+        segs.dedup();
+        prop_assert_eq!(tx, segs.len() as u64);
+    }
+
+    /// Contiguous accesses are the optimum: any permutation-free sorted
+    /// pattern covering the same range costs at least as much.
+    #[test]
+    fn contiguous_is_optimal(start in 0usize..10_000, len in 1usize..256) {
+        let idxs: Vec<usize> = (start..start + len).collect();
+        let scattered: Vec<usize> = (start..start + len).map(|i| i * 2).collect();
+        prop_assert!(segments_touched(&idxs, 4) <= segments_touched(&scattered, 4));
+        // And matches the closed-form count up to alignment slack.
+        let exact = segments_touched(&idxs, 4);
+        let closed = contiguous_transactions(len, 4);
+        prop_assert!(exact >= closed && exact <= closed + 1,
+            "exact {} closed {}", exact, closed);
+    }
+
+    /// Buffer round trip through warp gather/scatter preserves data for
+    /// arbitrary disjoint index sets.
+    #[test]
+    fn gather_scatter_roundtrip(
+        base in 0usize..1000,
+        stride in 1usize..9,
+        vals in prop::collection::vec(any::<i64>(), 1..32),
+    ) {
+        let m = Metrics::new();
+        let idxs: Vec<usize> = (0..vals.len()).map(|i| base + i * stride).collect();
+        let buf = GlobalBuffer::from_vec(vec![0i64; base + vals.len() * stride + 1]);
+        buf.warp_scatter(&m, &idxs, &vals, AccessClass::Element);
+        let mut out = vec![0i64; vals.len()];
+        buf.warp_gather(&m, &idxs, &mut out, AccessClass::Element);
+        prop_assert_eq!(out, vals);
+    }
+
+    /// Pod64 round trips for every supported type and value.
+    #[test]
+    fn pod64_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_bits(v.to_bits()), v);
+        let f = f64::from_bits(v as u64);
+        if !f.is_nan() {
+            prop_assert_eq!(<f64 as Pod64>::from_bits(Pod64::to_bits(f)), f);
+        }
+        let i = v as i32;
+        prop_assert_eq!(i32::from_bits(Pod64::to_bits(i)), i);
+    }
+
+    /// Atomic word buffers are lossless message boxes under concurrent
+    /// single-writer use.
+    #[test]
+    fn atomic_words_single_writer(values in prop::collection::vec(any::<u64>(), 1..64)) {
+        let m = Metrics::new();
+        let buf = AtomicWordBuffer::zeroed(values.len());
+        std::thread::scope(|s| {
+            let buf = &buf;
+            let m = &m;
+            let values = &values;
+            s.spawn(move || {
+                for (i, &v) in values.iter().enumerate() {
+                    buf.store(m, i, v);
+                }
+            });
+        });
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(buf.peek::<u64>(i), v);
+        }
+    }
+}
+
+/// Transactions accumulate exactly across repeated block operations.
+#[test]
+fn block_ops_accumulate_deterministically() {
+    let m = Metrics::new();
+    let buf = GlobalBuffer::from_vec(vec![7i32; 4096]);
+    let mut scratch = vec![0i32; 256];
+    for round in 0..16 {
+        buf.load_block(&m, round * 256, &mut scratch, AccessClass::Element);
+    }
+    let s = m.snapshot();
+    assert_eq!(s.elem_read_words, 16 * 256);
+    assert_eq!(s.elem_read_transactions, 16 * 8); // 256 x 4B = 8 segments
+}

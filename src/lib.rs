@@ -1,0 +1,20 @@
+//! # sam-repro — workspace umbrella crate
+//!
+//! Reproduction of *Higher-Order and Tuple-Based Massively-Parallel Prefix
+//! Sums* (Maleki, Yang, Burtscher — PLDI 2016). This crate re-exports the
+//! workspace members so examples and integration tests can reach everything
+//! through one dependency:
+//!
+//! * [`gpu_sim`] — the CUDA-like execution substrate and performance model;
+//! * [`sam_core`] — the SAM scan algorithm (higher-order, tuple-based);
+//! * [`sam_baselines`] — Thrust/CUDPP/MGPU/CUB-style comparators;
+//! * [`sam_delta`] — the delta-encoding compression pipeline that motivates
+//!   higher-order and tuple-based prefix sums;
+//! * [`sam_apps`] — classic scan applications (sorting, parallel lexing,
+//!   polynomial evaluation, run-length coding).
+
+pub use gpu_sim;
+pub use sam_apps;
+pub use sam_baselines;
+pub use sam_core;
+pub use sam_delta;

@@ -1,0 +1,116 @@
+//! Validates the extrapolation premise of the figure harness: at fixed
+//! kernel geometry, every performance-relevant counter of every algorithm
+//! is affine in the problem size, so measuring two probes pins the whole
+//! curve. (`EXPERIMENTS.md` § methodology.)
+
+use gpu_sim::{DeviceSpec, Gpu, MetricsSnapshot};
+use sam_core::kernel::{scan_on_gpu, SamParams};
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+use sam_baselines::{HierarchicalScan, LookbackScan};
+
+fn run(algo: &str, n: usize) -> MetricsSnapshot {
+    let gpu = Gpu::new(DeviceSpec::titan_x());
+    let input = vec![1i32; n];
+    match algo {
+        "sam" => {
+            let params = SamParams {
+                items_per_thread: 2,
+                ..SamParams::default()
+            };
+            scan_on_gpu(&gpu, &input, &Sum, &ScanSpec::inclusive(), &params);
+        }
+        "cub" => {
+            LookbackScan { items_per_thread: 2 }.scan(&gpu, &input, &Sum, &ScanSpec::inclusive());
+        }
+        "thrust" => {
+            HierarchicalScan::thrust()
+                .scan(&gpu, &input, &Sum, &ScanSpec::inclusive())
+                .expect("supported size");
+        }
+        other => panic!("unknown algo {other}"),
+    }
+    gpu.metrics().snapshot()
+}
+
+/// Checks `c(n3) == c(n2) + (c(n2) - c(n1))` for probe spacing
+/// `n2 - n1 == n3 - n2`, per counter, within a tolerance that accommodates
+/// per-launch constants and ragged final chunks.
+fn assert_affine(algo: &str) {
+    let step = 1 << 18;
+    let m1 = run(algo, 2 * step);
+    let m2 = run(algo, 3 * step);
+    let m3 = run(algo, 4 * step);
+    // CUB's look-back depth — and therefore its auxiliary read count — is
+    // timing dependent: a block reads as many predecessor descriptors as
+    // happen to lack a full prefix when it looks (the nondeterminism
+    // Section 3.1 describes). Auxiliary reads are exempted for CUB; they
+    // are small and heavily L2-discounted in the model.
+    let skip_aux_reads = algo == "cub";
+    let check = |name: &str, c1: u64, c2: u64, c3: u64| {
+        if name == "aux_read_tx" && skip_aux_reads {
+            return;
+        }
+        let predicted = c2 as i64 + (c2 as i64 - c1 as i64);
+        let err = (c3 as i64 - predicted).abs() as f64;
+        let scale = (c3 as f64).max(1.0);
+        assert!(
+            err / scale < 0.02 || err <= 8.0,
+            "{algo}/{name}: {c1} {c2} {c3} (predicted {predicted})"
+        );
+    };
+    check("elem_read_tx", m1.elem_read_transactions, m2.elem_read_transactions, m3.elem_read_transactions);
+    check("elem_write_tx", m1.elem_write_transactions, m2.elem_write_transactions, m3.elem_write_transactions);
+    check("elem_words", m1.elem_words(), m2.elem_words(), m3.elem_words());
+    check("aux_read_tx", m1.aux_read_transactions, m2.aux_read_transactions, m3.aux_read_transactions);
+    check("aux_write_tx", m1.aux_write_transactions, m2.aux_write_transactions, m3.aux_write_transactions);
+    check("compute", m1.compute_ops, m2.compute_ops, m3.compute_ops);
+    check("shuffles", m1.shuffles, m2.shuffles, m3.shuffles);
+    check("barriers", m1.barriers, m2.barriers, m3.barriers);
+    check("launches", m1.kernel_launches, m2.kernel_launches, m3.kernel_launches);
+}
+
+#[test]
+fn sam_counts_are_affine_in_n() {
+    assert_affine("sam");
+}
+
+#[test]
+fn cub_counts_are_affine_in_n() {
+    assert_affine("cub");
+}
+
+#[test]
+fn thrust_counts_are_affine_in_n() {
+    assert_affine("thrust");
+}
+
+#[test]
+fn sam_element_traffic_is_exactly_2n_for_any_order() {
+    for order in [1u32, 4, 8] {
+        let gpu = Gpu::new(DeviceSpec::titan_x());
+        let n = 100_000;
+        let input = vec![1i32; n];
+        let spec = ScanSpec::inclusive().with_order(order).expect("valid order");
+        scan_on_gpu(&gpu, &input, &Sum, &spec, &SamParams::default());
+        assert_eq!(
+            gpu.metrics().snapshot().elem_words(),
+            2 * n as u64,
+            "order {order}"
+        );
+    }
+}
+
+#[test]
+fn iterated_baseline_traffic_scales_with_order() {
+    let n = 1 << 17;
+    let input = vec![1i32; n];
+    let gpu = Gpu::new(DeviceSpec::titan_x());
+    let lookback = LookbackScan::default();
+    let q = 4;
+    sam_baselines::iterate_scan(&input, q, |d| {
+        lookback.scan(&gpu, d, &Sum, &ScanSpec::inclusive())
+    });
+    let words = gpu.metrics().snapshot().elem_words();
+    assert_eq!(words, 2 * (q as u64) * n as u64, "2qn for the iterated scan");
+}

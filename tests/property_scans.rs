@@ -1,0 +1,150 @@
+//! Property-based tests (proptest): the parallel engines equal the serial
+//! oracle on arbitrary inputs and specifications, scans compose the way
+//! the algebra says they must, and delta encode/decode is the identity.
+
+use proptest::prelude::*;
+use sam_core::cpu::CpuScanner;
+use sam_core::op::{Max, Min, Sum, Xor};
+use sam_core::{serial, ScanKind, ScanSpec};
+use sam_delta::encode::{encode_direct, encode_iterated};
+
+fn spec_strategy() -> impl Strategy<Value = ScanSpec> {
+    (
+        prop_oneof![Just(ScanKind::Inclusive), Just(ScanKind::Exclusive)],
+        1u32..=5,
+        1usize..=7,
+    )
+        .prop_map(|(kind, order, tuple)| ScanSpec::new(kind, order, tuple).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The multi-threaded engine equals the oracle for any input, spec,
+    /// worker count and chunk size.
+    #[test]
+    fn cpu_engine_matches_oracle(
+        input in prop::collection::vec(any::<i64>(), 0..3000),
+        spec in spec_strategy(),
+        workers in 1usize..6,
+        chunk in 1usize..600,
+    ) {
+        let got = CpuScanner::new(workers).with_chunk_elems(chunk).scan(&input, &Sum, &spec);
+        let expect = serial::scan(&input, &Sum, &spec);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Inclusive and exclusive scans satisfy
+    /// `inclusive[i] = op(exclusive[i], v[i])` at the last order.
+    #[test]
+    fn inclusive_exclusive_relation(
+        input in prop::collection::vec(any::<i32>(), 1..1000),
+        order in 1u32..4,
+        tuple in 1usize..5,
+    ) {
+        let inc = serial::scan(&input, &Sum,
+            &ScanSpec::new(ScanKind::Inclusive, order, tuple).expect("valid"));
+        let exc = serial::scan(&input, &Sum,
+            &ScanSpec::new(ScanKind::Exclusive, order, tuple).expect("valid"));
+        // The exclusive form excludes the *order-(q-1)-scanned* value at i.
+        let mut penultimate = input.clone();
+        for _ in 0..order - 1 {
+            serial::inclusive_strided_in_place(&mut penultimate, &Sum, tuple);
+        }
+        for i in 0..input.len() {
+            prop_assert_eq!(inc[i], exc[i].wrapping_add(penultimate[i]), "i={}", i);
+        }
+    }
+
+    /// A tuple-s scan equals s independent lane scans.
+    #[test]
+    fn tuple_scan_is_lane_decomposable(
+        input in prop::collection::vec(any::<i64>(), 0..1500),
+        tuple in 1usize..6,
+        order in 1u32..3,
+    ) {
+        let spec = ScanSpec::new(ScanKind::Inclusive, order, tuple).expect("valid");
+        let whole = serial::scan(&input, &Sum, &spec);
+        let lane_spec = ScanSpec::new(ScanKind::Inclusive, order, 1).expect("valid");
+        for lane in 0..tuple {
+            let lane_in: Vec<i64> = input.iter().skip(lane).step_by(tuple).copied().collect();
+            let lane_out: Vec<i64> = whole.iter().skip(lane).step_by(tuple).copied().collect();
+            prop_assert_eq!(serial::scan(&lane_in, &Sum, &lane_spec), lane_out);
+        }
+    }
+
+    /// An order-q scan is q iterated order-1 scans.
+    #[test]
+    fn higher_order_is_iterated_first_order(
+        input in prop::collection::vec(any::<i32>(), 0..1500),
+        order in 1u32..6,
+    ) {
+        let spec = ScanSpec::inclusive().with_order(order).expect("valid");
+        let native = serial::scan(&input, &Sum, &spec);
+        let mut iterated = input.clone();
+        for _ in 0..order {
+            serial::inclusive_strided_in_place(&mut iterated, &Sum, 1);
+        }
+        prop_assert_eq!(native, iterated);
+    }
+
+    /// Delta encoding (either form) followed by decoding is the identity,
+    /// even under wrapping overflow.
+    #[test]
+    fn delta_roundtrip_is_identity(
+        input in prop::collection::vec(any::<i64>(), 0..2000),
+        order in 1u32..5,
+        tuple in 1usize..5,
+    ) {
+        let spec = ScanSpec::new(ScanKind::Inclusive, order, tuple).expect("valid");
+        let iterated = encode_iterated(&input, &spec);
+        prop_assert_eq!(&sam_delta::decode::decode_serial(&iterated, &spec), &input);
+        let direct = encode_direct(&input, &spec);
+        prop_assert_eq!(direct, iterated);
+    }
+
+    /// The full byte-level codec round-trips arbitrary i32 data.
+    #[test]
+    fn codec_roundtrip(
+        input in prop::collection::vec(any::<i32>(), 0..1200),
+        order in 1u32..4,
+        tuple in 1usize..4,
+    ) {
+        let codec = sam_delta::DeltaCodec::new(order, tuple).expect("valid codec");
+        let packed = codec.compress(&input);
+        prop_assert_eq!(codec.decompress::<i32>(&packed).expect("well-formed"), input);
+    }
+
+    /// Scans with idempotent operators (max/min) are monotone envelopes.
+    #[test]
+    fn max_scan_is_monotone_and_bounding(
+        input in prop::collection::vec(any::<i32>(), 1..500),
+    ) {
+        let out = serial::scan(&input, &Max, &ScanSpec::inclusive());
+        for i in 0..input.len() {
+            prop_assert!(out[i] >= input[i]);
+            if i > 0 {
+                prop_assert!(out[i] >= out[i - 1]);
+            }
+        }
+        let out_min = serial::scan(&input, &Min, &ScanSpec::inclusive());
+        for i in 1..input.len() {
+            prop_assert!(out_min[i] <= out_min[i - 1]);
+        }
+    }
+
+    /// Xor scans are involutive: scanning twice with stride 1 over an
+    /// all-equal-length prefix... simpler: differencing the xor-scan
+    /// recovers the input (xor is its own inverse).
+    #[test]
+    fn xor_scan_differencing_recovers_input(
+        input in prop::collection::vec(any::<u64>(), 0..800),
+    ) {
+        let scanned = serial::scan(&input, &Xor, &ScanSpec::inclusive());
+        let mut recovered = scanned.clone();
+        for i in (1..recovered.len()).rev() {
+            recovered[i] ^= scanned[i - 1];
+        }
+        prop_assert_eq!(recovered, input);
+    }
+}

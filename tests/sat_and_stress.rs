@@ -1,0 +1,101 @@
+//! The tuple generalization doing real work: summed-area tables whose
+//! column pass runs on the simulated GPU kernel with tuple size = image
+//! width, plus a combined-parameter stress sweep across engines.
+
+use gpu_sim::{DeviceSpec, Gpu};
+use sam_core::cpu::CpuScanner;
+use sam_core::kernel::{scan_on_gpu, SamParams};
+use sam_core::op::Sum;
+use sam_core::{serial, ScanKind, ScanSpec};
+
+/// A SAT built the way the paper's GPU would: row pass, then one
+/// width-tuple scan on the persistent-block kernel.
+#[test]
+fn summed_area_table_column_pass_on_gpu() {
+    let (w, h) = (64usize, 300usize);
+    let grid: Vec<i64> = (0..w * h).map(|i| ((i * 23) % 31) as i64 - 15).collect();
+
+    // Row pass (serial segmented oracle, validated elsewhere).
+    let heads: Vec<bool> = (0..grid.len()).map(|i| i % w == 0).collect();
+    let rows = sam_core::segmented::scan_serial(&grid, &heads, &Sum, ScanKind::Inclusive);
+
+    // Column pass: ONE tuple-based scan, s = width, on the GPU kernel.
+    let gpu = Gpu::new(DeviceSpec::titan_x());
+    let spec = ScanSpec::inclusive().with_tuple(w).expect("valid tuple");
+    let (table, info) = scan_on_gpu(
+        &gpu,
+        &rows,
+        &Sum,
+        &spec,
+        &SamParams {
+            items_per_thread: 4,
+            ..SamParams::default()
+        },
+    );
+    assert_eq!(info.tuple, w);
+
+    // Cross-check against the host SAT implementation.
+    let host = sam_apps::Sat::build(&grid, w, h, &CpuScanner::new(2).with_chunk_elems(512));
+    for r in [0usize, 1, h / 2, h - 1] {
+        for c in [0usize, 1, w / 2, w - 1] {
+            assert_eq!(table[r * w + c], host.at(r, c), "({r},{c})");
+        }
+    }
+    // Still one read + one write per element despite the 64 interleaved
+    // column scans.
+    assert_eq!(gpu.metrics().snapshot().elem_words(), 2 * (w * h) as u64);
+}
+
+/// Exhaustive parameter sweep on moderate sizes: every (kind, order,
+/// tuple, engine-geometry) combination agrees with the oracle.
+#[test]
+fn combined_parameter_stress_sweep() {
+    let n = 9_871; // awkward prime-ish size
+    let input: Vec<i64> = (0..n as i64).map(|i| (i * 37 % 101) - 50).collect();
+    let gpu = Gpu::new(DeviceSpec::k40());
+    for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+        for order in [1u32, 2, 8] {
+            for tuple in [1usize, 3, 8] {
+                let spec = ScanSpec::new(kind, order, tuple).expect("valid");
+                let oracle = serial::scan(&input, &Sum, &spec);
+                for workers in [2usize, 5] {
+                    let got = CpuScanner::new(workers)
+                        .with_chunk_elems(701)
+                        .scan(&input, &Sum, &spec);
+                    assert_eq!(got, oracle, "cpu {kind:?} q={order} s={tuple} w={workers}");
+                }
+                let (got, _) = scan_on_gpu(
+                    &gpu,
+                    &input,
+                    &Sum,
+                    &spec,
+                    &SamParams {
+                        items_per_thread: 1,
+                        ..SamParams::default()
+                    },
+                );
+                assert_eq!(got, oracle, "gpu {kind:?} q={order} s={tuple}");
+            }
+        }
+    }
+}
+
+/// Long-haul stress: a deep pipeline (order 8) over many chunks with the
+/// ring-buffer auxiliary mode — the configuration with the most protocol
+/// state in flight.
+#[test]
+fn deep_pipeline_ring_stress() {
+    use sam_core::kernel::AuxMode;
+    let gpu = Gpu::new(DeviceSpec::k40());
+    let n = 400_000;
+    let input: Vec<i32> = (0..n as i32).map(|i| i % 7 - 3).collect();
+    let spec = ScanSpec::inclusive().with_order(8).expect("valid order");
+    let params = SamParams {
+        items_per_thread: 1,
+        aux: AuxMode::Ring,
+        ..SamParams::default()
+    };
+    let (got, info) = scan_on_gpu(&gpu, &input, &Sum, &spec, &params);
+    assert!(info.ring_len < info.chunks as usize, "must lap the ring");
+    assert_eq!(got, serial::scan(&input, &Sum, &spec));
+}
