@@ -168,7 +168,7 @@ const SYM: u8 = 3;
 /// whitespace).
 pub fn lexer_dfa() -> Dfa {
     let mut table = [[WHITE; MAX_STATES]; 256];
-    for b in 0..256usize {
+    for (b, row) in table.iter_mut().enumerate() {
         let c = b as u8;
         let next = if c.is_ascii_alphabetic() || c == b'_' {
             // A letter continues an identifier and *starts* one after
@@ -184,7 +184,7 @@ pub fn lexer_dfa() -> Dfa {
             SYM
         };
         for state in 0..MAX_STATES as u8 {
-            table[b][state as usize] = match next {
+            row[state as usize] = match next {
                 0xff => {
                     if state == IDENT {
                         IDENT

@@ -57,11 +57,13 @@ where
         let less: Vec<u32> = (0..n)
             .map(|i| u32::from(!solved[i] && keys[i] < pivots[i]))
             .collect();
-        let equal: Vec<u32> = (0..n)
-            .map(|i| u32::from(!solved[i] && !(keys[i] < pivots[i]) && !(pivots[i] < keys[i])))
-            .collect();
         let greater: Vec<u32> = (0..n)
             .map(|i| u32::from(!solved[i] && pivots[i] < keys[i]))
+            .collect();
+        // Neither less nor greater: equal (incomparable keys land here too,
+        // matching the original double-negation form).
+        let equal: Vec<u32> = (0..n)
+            .map(|i| u32::from(!solved[i] && less[i] == 0 && greater[i] == 0))
             .collect();
 
         // Per-element exclusive offsets within the segment, per class.
@@ -130,9 +132,7 @@ where
                 if e > 0 {
                     new_heads[s + l] = true;
                     // Equal runs are finished.
-                    for j in s + l..s + l + e {
-                        new_solved[j] = true;
-                    }
+                    new_solved[s + l..s + l + e].fill(true);
                 }
                 if g > 0 {
                     new_heads[s + l + e] = true;

@@ -10,7 +10,7 @@
 
 use sam_core::chunkops;
 use sam_core::element::ScanElement;
-use sam_core::op::ScanOp;
+use sam_core::chunk_kernel::ChunkKernel;
 use sam_core::{ScanKind, ScanSpec};
 
 /// A three-phase multicore scanner.
@@ -46,7 +46,7 @@ impl ThreePhaseCpu {
     pub fn scan<T, Op>(&self, input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         assert!(spec.is_first_order(), "three-phase baseline is first-order");
         let n = input.len();

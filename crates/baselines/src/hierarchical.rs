@@ -20,7 +20,7 @@ use gpu_sim::{AccessClass, GlobalBuffer, Gpu};
 use sam_core::chunkops;
 use sam_core::element::ScanElement;
 use sam_core::kernel::account_block_scan;
-use sam_core::op::ScanOp;
+use sam_core::chunk_kernel::ChunkKernel;
 use sam_core::{ScanKind, ScanSpec};
 
 /// First-pass strategy of a hierarchical scan (see module docs).
@@ -87,7 +87,7 @@ impl HierarchicalScan {
     pub fn scan<T, Op>(&self, gpu: &Gpu, input: &[T], op: &Op, spec: &ScanSpec) -> Option<Vec<T>>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         assert!(
             spec.is_first_order() && spec.tuple() == 1,
@@ -117,7 +117,7 @@ impl HierarchicalScan {
         kind: ScanKind,
     ) where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         let n = data.len();
         let threads = gpu.spec().threads_per_block as usize;

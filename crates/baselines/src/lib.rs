@@ -80,7 +80,7 @@ mod tests {
         for q in 1..=8u32 {
             let spec = ScanSpec::inclusive().with_order(q).unwrap();
             let expect = serial::scan(&input, &Sum, &spec);
-            let got = iterate_scan(&input, q, |d| serial::prefix_sum(d));
+            let got = iterate_scan(&input, q, serial::prefix_sum);
             assert_eq!(got, expect, "order {q}");
         }
     }

@@ -26,7 +26,7 @@ use gpu_sim::{AccessClass, AtomicWordBuffer, GlobalBuffer, Gpu};
 use sam_core::chunkops;
 use sam_core::element::ScanElement;
 use sam_core::kernel::account_block_scan;
-use sam_core::op::ScanOp;
+use sam_core::chunk_kernel::ChunkKernel;
 use sam_core::{ScanKind, ScanSpec};
 
 /// Chunk descriptor states of the look-back protocol.
@@ -58,7 +58,7 @@ impl LookbackScan {
     pub fn scan<T, Op>(&self, gpu: &Gpu, input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         assert!(
             spec.is_first_order() && spec.tuple() == 1,
@@ -86,7 +86,7 @@ impl LookbackScan {
     ) -> Vec<T>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         assert!(s > 0, "tuple size must be positive");
         assert_eq!(
@@ -109,7 +109,7 @@ impl LookbackScan {
     ) -> Vec<T>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         let n = input.len();
         if n == 0 {
@@ -264,7 +264,7 @@ fn warp_aos_access<T: ScanElement>(
                         idxs.push(local);
                     }
                 }
-                step(buf, m, base, &mut idxs, &mut lane_buf, &mut access, vals);
+                step(buf, m, base, &idxs, &mut lane_buf, &mut access, vals);
             }
         }
     }
@@ -273,7 +273,7 @@ fn warp_aos_access<T: ScanElement>(
         buf: &GlobalBuffer<T>,
         m: &gpu_sim::Metrics,
         base: usize,
-        idxs: &mut Vec<usize>,
+        idxs: &[usize],
         lane_buf: &mut [T],
         access: &mut impl FnMut(&GlobalBuffer<T>, &mut [T], &gpu_sim::Metrics, &[usize]),
         vals: &mut [T],

@@ -1,0 +1,222 @@
+//! Machine-readable CPU scan throughput benchmark.
+//!
+//! Sweeps input sizes × orders × tuple sizes × engines for `i64` `Sum`
+//! scans and writes one JSON document (default `BENCH_cpu.json`) so the
+//! performance trajectory of the host engines is tracked from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin throughput -- [options]
+//!   --out PATH        output file (default BENCH_cpu.json)
+//!   --full            dense size grid 2^10..2^26 (default: 2^10..2^24 step 2)
+//!   --quick           tiny grid for smoke testing
+//!   --orders LIST     comma-separated orders   (default 1,2,5,8)
+//!   --tuples LIST     comma-separated tuples   (default 1,2,5,8)
+//!   --sizes LIST      comma-separated log2 sizes, overrides --full/--quick
+//!   --engines LIST    comma-separated from serial,cpu (default both)
+//! ```
+//!
+//! Each configuration is measured with one warm-up run and repeated until
+//! either three timed repetitions or a time budget is exhausted; the JSON
+//! records the best repetition (`elems_per_sec` = `n / secs_best`).
+
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::{serial, ScanSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Record {
+    engine: &'static str,
+    n: usize,
+    order: u32,
+    tuple: usize,
+    secs_best: f64,
+    elems_per_sec: f64,
+    reps: u32,
+}
+
+const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
+                     [--orders LIST] [--tuples LIST] [--sizes LIST] \
+                     [--engines serial,cpu]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(flag: &str, arg: &str) -> Vec<usize> {
+    let list: Vec<usize> = arg
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("{flag} expects numbers, got {s:?}")))
+        })
+        .collect();
+    if list.is_empty() {
+        usage_error(&format!("{flag} expects a non-empty comma-separated list"));
+    }
+    list
+}
+
+fn pseudo_random(n: usize) -> Vec<i64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64) - (1 << 30)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_cpu.json");
+    let mut orders: Vec<usize> = vec![1, 2, 5, 8];
+    let mut tuples: Vec<usize> = vec![1, 2, 5, 8];
+    let mut engines: Vec<String> = vec!["serial".into(), "cpu".into()];
+    let mut log_sizes: Vec<usize> = (10..=24).step_by(2).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage_error(&format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out_path = value(&mut i, "--out"),
+            "--full" => log_sizes = (10..=26).collect(),
+            "--quick" => {
+                log_sizes = vec![12, 16, 20];
+                orders = vec![1, 2];
+                tuples = vec![1, 5];
+            }
+            "--orders" => orders = parse_list("--orders", &value(&mut i, "--orders")),
+            "--tuples" => tuples = parse_list("--tuples", &value(&mut i, "--tuples")),
+            "--sizes" => log_sizes = parse_list("--sizes", &value(&mut i, "--sizes")),
+            "--engines" => {
+                engines = value(&mut i, "--engines")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            other => usage_error(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    for engine in &engines {
+        if engine != "serial" && engine != "cpu" {
+            usage_error(&format!("unknown engine {engine:?} (expected serial or cpu)"));
+        }
+    }
+    if engines.is_empty() {
+        usage_error("--engines expects a non-empty list");
+    }
+    for &order in &orders {
+        if u32::try_from(order).ok().and_then(|o| ScanSpec::inclusive().with_order(o).ok()).is_none() {
+            usage_error(&format!("invalid order {order} (1..={})", ScanSpec::MAX_ORDER));
+        }
+    }
+    for &tuple in &tuples {
+        if ScanSpec::inclusive().with_tuple(tuple).is_err() {
+            usage_error(&format!("invalid tuple {tuple} (1..={})", ScanSpec::MAX_TUPLE));
+        }
+    }
+    if log_sizes.iter().any(|&lg| lg >= usize::BITS as usize) {
+        usage_error("--sizes entries are log2 exponents and must be < 64");
+    }
+
+    let max_n = 1usize << log_sizes.iter().copied().max().expect("nonempty sizes");
+    let input = pseudo_random(max_n);
+    let cpu = CpuScanner::default();
+    let mut records: Vec<Record> = Vec::new();
+
+    for &lg in &log_sizes {
+        let n = 1usize << lg;
+        let data = &input[..n];
+        let mut out = vec![0i64; n];
+        for &order in &orders {
+            for &tuple in &tuples {
+                let spec = ScanSpec::inclusive()
+                    .with_order(order as u32)
+                    .expect("valid order")
+                    .with_tuple(tuple)
+                    .expect("valid tuple");
+                for engine in &engines {
+                    // Time budget per configuration scales down as sizes and
+                    // orders grow so the whole sweep stays tractable.
+                    let budget_secs = 0.25;
+                    let mut best = f64::INFINITY;
+                    let mut reps = 0u32;
+                    let mut spent = 0.0;
+                    // One untimed warm-up (page faults, branch history).
+                    run_once(engine, data, &mut out, &cpu, &spec);
+                    while reps < 3 || (spent < budget_secs && reps < 25) {
+                        let t = Instant::now();
+                        run_once(engine, data, &mut out, &cpu, &spec);
+                        let secs = t.elapsed().as_secs_f64();
+                        best = best.min(secs);
+                        spent += secs;
+                        reps += 1;
+                        if spent > 4.0 * budget_secs {
+                            break;
+                        }
+                    }
+                    records.push(Record {
+                        engine: match engine.as_str() {
+                            "serial" => "serial",
+                            "cpu" => "cpu",
+                            other => panic!("unknown engine {other}"),
+                        },
+                        n,
+                        order: order as u32,
+                        tuple,
+                        secs_best: best,
+                        elems_per_sec: n as f64 / best,
+                        reps,
+                    });
+                    eprintln!(
+                        "{:>6} n=2^{lg:<2} order={order} tuple={tuple}: {:>10.0} elems/s ({reps} reps)",
+                        engine, n as f64 / best
+                    );
+                }
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"cpu_scan_throughput\",\n");
+    let _ = writeln!(json, "  \"elem\": \"i64\", \"op\": \"sum\", \"kind\": \"inclusive\",");
+    let _ = writeln!(json, "  \"workers\": {},", cpu.workers());
+    let _ = writeln!(json, "  \"chunk_elems\": {},", cpu.chunk_elems());
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"n\": {}, \"order\": {}, \"tuple\": {}, \
+             \"secs_best\": {:.6e}, \"elems_per_sec\": {:.6e}, \"reps\": {}}}",
+            r.engine, r.n, r.order, r.tuple, r.secs_best, r.elems_per_sec, r.reps
+        );
+        json.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write output JSON");
+    eprintln!("wrote {out_path} ({} configurations)", records.len());
+}
+
+fn run_once(engine: &str, data: &[i64], out: &mut [i64], cpu: &CpuScanner, spec: &ScanSpec) {
+    match engine {
+        "serial" => {
+            out.copy_from_slice(data);
+            serial::scan_in_place(out, &Sum, spec);
+        }
+        "cpu" => cpu.scan_into(data, out, &Sum, spec),
+        other => panic!("unknown engine {other}"),
+    }
+}

@@ -34,8 +34,6 @@ pub fn figure(id: u8) -> FigureDef {
         .iter()
         .map(|&a| (a, 1, 1))
         .collect();
-    #[allow(clippy::redundant_clone)] // used twice when extensions are added
-    let conventional = conventional;
     let orders = |qs: [u32; 3]| -> Vec<(Algo, u32, usize)> {
         qs.iter()
             .flat_map(|&q| [(Algo::Sam, q, 1), (Algo::Cub, q, 1)])

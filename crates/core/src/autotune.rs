@@ -113,20 +113,22 @@ fn predicted_seconds(
     let k = u64::from(device.persistent_blocks()).min(chunks);
     let per_seg = 128 / elem_bytes;
 
-    let mut m = MetricsSnapshot::default();
-    m.kernel_launches = 1;
-    m.elem_read_words = n;
-    m.elem_write_words = n;
-    m.elem_read_transactions = n.div_ceil(per_seg);
-    m.elem_write_transactions = n.div_ceil(per_seg);
-    // Per chunk: publish 1 sum + 1 flag, read k-1 sums + k-1 flags.
-    m.aux_write_transactions = 2 * chunks;
-    m.aux_read_transactions = chunks * 2 * (k.saturating_sub(1)).div_ceil(16).max(1);
-    // Local scan + carry application + carry fold.
-    m.compute_ops = 3 * n + chunks * (k + threads * 5 / 2 + 80);
-    m.shuffles = chunks * (5 * threads + 160);
-    m.shared_accesses = chunks * threads;
-    m.barriers = chunks * 2;
+    let mut m = MetricsSnapshot {
+        kernel_launches: 1,
+        elem_read_words: n,
+        elem_write_words: n,
+        elem_read_transactions: n.div_ceil(per_seg),
+        elem_write_transactions: n.div_ceil(per_seg),
+        // Per chunk: publish 1 sum + 1 flag, read k-1 sums + k-1 flags.
+        aux_write_transactions: 2 * chunks,
+        aux_read_transactions: chunks * 2 * (k.saturating_sub(1)).div_ceil(16).max(1),
+        // Local scan + carry application + carry fold.
+        compute_ops: 3 * n + chunks * (k + threads * 5 / 2 + 80),
+        shuffles: chunks * (5 * threads + 160),
+        shared_accesses: chunks * threads,
+        barriers: chunks * 2,
+        ..MetricsSnapshot::default()
+    };
 
     // Register pressure: spills once items exceed the element registers.
     let budget = device.element_registers() as usize;

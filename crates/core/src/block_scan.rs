@@ -40,9 +40,9 @@ where
 {
     let m: &Metrics = ctx.metrics();
     let warp_width = ctx.warp_width();
-    assert!(threads > 0 && threads % warp_width == 0, "threads must fill warps");
+    assert!(threads > 0 && threads.is_multiple_of(warp_width), "threads must fill warps");
     assert!(
-        !values.is_empty() && values.len() % threads == 0,
+        !values.is_empty() && values.len().is_multiple_of(threads),
         "values must fill {threads} threads evenly, got {}",
         values.len()
     );

@@ -1,0 +1,709 @@
+//! Chunk-kernel specialization layer.
+//!
+//! Every engine in this workspace — the serial oracle, the multi-threaded
+//! CPU engine and the simulated GPU kernel — decomposes a scan into the
+//! same four chunk-level primitives: a (possibly fused) local strided scan
+//! with per-lane totals, a carry application, and an exclusive rewrite.
+//! [`ChunkKernel`] captures those primitives as a dispatch trait layered on
+//! top of [`ScanOp`]:
+//!
+//! * the trait's **default methods** implement every primitive generically
+//!   for any associative operator, using a rotating lane index instead of a
+//!   per-element `(base + j) % s` division (Section 2.3's lane bookkeeping
+//!   costs one add-and-compare per element instead of one `div`);
+//! * **specialized implementations** override the hot cases. [`Sum`]
+//!   overrides the stride-1 paths with an unrolled multi-accumulator
+//!   in-register scan (a blocked Hillis–Steele over `BLOCK = 16` lanes
+//!   with per-block carry fixup) that LLVM auto-vectorizes for the integer
+//!   element types.
+//!
+//! # Dispatch table
+//!
+//! | operator | element | stride | kernel |
+//! |---|---|---|---|
+//! | `Sum` | ints (`EXACT_ASSOC`) | 1 | blocked multi-accumulator, vectorizable; non-temporal stores on x86-64 for ≥ 8 MiB outputs |
+//! | `Sum` | floats | 1 | fused sequential accumulator (serial association) |
+//! | any  | any | 1 | fused sequential accumulator |
+//! | any  | any | s > 1 | in-buffer recurrence, rotating lane index |
+//!
+//! # Determinism contract
+//!
+//! Every kernel is **bitwise identical** to the reference loops it
+//! replaces, for every element type. Reassociating fast paths are gated on
+//! [`ScanElement::EXACT_ASSOC`](crate::element::ScanElement::EXACT_ASSOC),
+//! so floating-point scans keep the exact left-to-right association of the
+//! serial oracle — the deterministic-float property of Section 3.1 is
+//! preserved per engine, not just per run.
+
+use crate::element::{IntElement, ScanElement};
+use crate::op::{And, FnOp, Max, Min, Or, Prod, ScanOp, Sum, Xor};
+use crate::segmented::{Element32, Packed32, SegmentedOp};
+
+/// Number of elements the unrolled in-register kernel processes per block.
+const BLOCK: usize = 16;
+
+/// Chunk-level scan kernels with operator/element/stride specialization.
+///
+/// All methods have exact-semantics default implementations; concrete
+/// operators override the cases they can accelerate. See the module docs
+/// for the dispatch table and the determinism contract.
+///
+/// Lane membership of position `j` (global index `base + j`) is
+/// `(base + j) % s`; implementations maintain it with a rotating index.
+pub trait ChunkKernel<T: Copy>: ScanOp<T> {
+    /// Fused strided inclusive scan of `src` into `dst` (one read of `src`,
+    /// one write of `dst`): `dst[j] = src[j]` for `j < s`, otherwise
+    /// `dst[j] = op(dst[j - s], src[j])`.
+    ///
+    /// This is the serial engine's steady-state kernel: it replaces the
+    /// copy-then-scan-in-place pair with a single pass, with the identical
+    /// left-to-right association (no identity fold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or the slices differ in length.
+    fn inclusive_from(&self, src: &[T], dst: &mut [T], s: usize) {
+        check_fused(src.len(), dst.len(), s);
+        let n = src.len();
+        if s == 1 {
+            self.inclusive_from_stride1(src, dst);
+            return;
+        }
+        let head = s.min(n);
+        dst[..head].copy_from_slice(&src[..head]);
+        for j in s..n {
+            dst[j] = self.combine(dst[j - s], src[j]);
+        }
+    }
+
+    /// Stride-1 case of [`ChunkKernel::inclusive_from`]: a sequential
+    /// running accumulator (the association of the reference loop).
+    #[doc(hidden)]
+    fn inclusive_from_stride1(&self, src: &[T], dst: &mut [T]) {
+        let Some((&first, rest)) = src.split_first() else {
+            return;
+        };
+        let mut acc = first;
+        dst[0] = acc;
+        for (d, &v) in dst[1..].iter_mut().zip(rest) {
+            acc = self.combine(acc, v);
+            *d = acc;
+        }
+    }
+
+    /// In-place strided inclusive scan: `data[j] = op(data[j - s], data[j])`
+    /// for `j >= s`, the first `s` elements untouched — exactly the
+    /// reference recurrence of `serial::inclusive_strided_in_place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    fn inclusive_in_place(&self, data: &mut [T], s: usize) {
+        assert!(s > 0, "stride must be positive");
+        if s == 1 {
+            let Some((&first, _)) = data.split_first() else {
+                return;
+            };
+            let mut acc = first;
+            for v in &mut data[1..] {
+                acc = self.combine(acc, *v);
+                *v = acc;
+            }
+            return;
+        }
+        for j in s..data.len() {
+            data[j] = self.combine(data[j - s], data[j]);
+        }
+    }
+
+    /// Fused strided exclusive scan of `src` into `dst`: the first element
+    /// of each lane receives the identity, every later one the combination
+    /// of all earlier same-lane elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or the slices differ in length.
+    fn exclusive_from(&self, src: &[T], dst: &mut [T], s: usize) {
+        check_fused(src.len(), dst.len(), s);
+        let n = src.len();
+        for d in &mut dst[..s.min(n)] {
+            *d = self.identity();
+        }
+        // dst[j - s] already holds the exclusive prefix of the previous
+        // same-lane element; extending it by src[j - s] is the same left
+        // fold as the reference per-lane walk.
+        for j in s..n {
+            dst[j] = self.combine(dst[j - s], src[j - s]);
+        }
+    }
+
+    /// In-place strided exclusive scan, identical in association to
+    /// `serial::exclusive_strided_in_place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    fn exclusive_in_place(&self, data: &mut [T], s: usize) {
+        assert!(s > 0, "stride must be positive");
+        let n = data.len();
+        for lane in 0..s.min(n) {
+            let mut acc = self.identity();
+            let mut i = lane;
+            while i < n {
+                let v = data[i];
+                data[i] = acc;
+                acc = self.combine(acc, v);
+                i += s;
+            }
+        }
+    }
+
+    /// Local strided inclusive scan of one chunk, in place, publishing the
+    /// per-lane totals into `totals` (length `s`; lanes with no element in
+    /// the chunk receive the identity). `base` is the chunk's global start
+    /// offset, which determines lane labeling only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or `totals.len() != s`.
+    fn scan_chunk_in_place(&self, chunk: &mut [T], base: usize, s: usize, totals: &mut [T]) {
+        assert!(s > 0, "stride must be positive");
+        assert_eq!(totals.len(), s, "one total per lane");
+        self.inclusive_in_place(chunk, s);
+        collect_totals(self, chunk, base, s, totals);
+    }
+
+    /// Fused variant of [`ChunkKernel::scan_chunk_in_place`] reading the
+    /// raw chunk from `src` and writing the scanned chunk to `chunk` —
+    /// the multi-threaded engine's steady-state kernel (no staging copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero, the slices differ in length, or
+    /// `totals.len() != s`.
+    fn scan_chunk_from(&self, src: &[T], chunk: &mut [T], base: usize, s: usize, totals: &mut [T]) {
+        assert_eq!(totals.len(), s, "one total per lane");
+        self.inclusive_from(src, chunk, s);
+        collect_totals(self, chunk, base, s, totals);
+    }
+
+    /// Combines the accumulated per-lane carries into a scanned chunk:
+    /// `chunk[j] = op(carry[(base + j) % s], chunk[j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `carry` is empty.
+    fn apply_carry(&self, chunk: &mut [T], base: usize, carry: &[T]) {
+        let s = carry.len();
+        assert!(s > 0, "carry must have one entry per lane");
+        if s == 1 {
+            let c = carry[0];
+            for v in chunk.iter_mut() {
+                *v = self.combine(c, *v);
+            }
+            return;
+        }
+        let mut lane = base % s;
+        for v in chunk.iter_mut() {
+            *v = self.combine(carry[lane], *v);
+            lane += 1;
+            if lane == s {
+                lane = 0;
+            }
+        }
+    }
+
+    /// Rewrites a *pre-carry* inclusively-scanned chunk into its exclusive
+    /// outputs, in place: position `j` receives
+    /// `op(carry[lane(j)], scanned[j - s])`, or the lane's carry alone for
+    /// the chunk's first `s` positions.
+    ///
+    /// Walks backwards so no staging buffer is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `carry` is empty.
+    fn exclusive_rewrite(&self, chunk: &mut [T], base: usize, carry: &[T]) {
+        let s = carry.len();
+        assert!(s > 0, "carry must have one entry per lane");
+        let n = chunk.len();
+        if n == 0 {
+            return;
+        }
+        // Rotating lane index, walking down from position n - 1.
+        let mut lane = (base + n - 1) % s;
+        for j in (s..n).rev() {
+            chunk[j] = self.combine(carry[lane], chunk[j - s]);
+            lane = if lane == 0 { s - 1 } else { lane - 1 };
+        }
+        for j in (0..s.min(n)).rev() {
+            chunk[j] = carry[lane];
+            lane = if lane == 0 { s - 1 } else { lane - 1 };
+        }
+    }
+}
+
+/// Shared argument validation for the fused `*_from` kernels.
+fn check_fused(src_len: usize, dst_len: usize, s: usize) {
+    assert!(s > 0, "stride must be positive");
+    assert_eq!(src_len, dst_len, "fused kernel buffers must match in length");
+}
+
+/// Publishes per-lane totals from a scanned chunk: the last element of each
+/// lane within the chunk, identity for absent lanes.
+fn collect_totals<T: Copy, Op: ScanOp<T> + ?Sized>(
+    op: &Op,
+    chunk: &[T],
+    base: usize,
+    s: usize,
+    totals: &mut [T],
+) {
+    for t in totals.iter_mut() {
+        *t = op.identity();
+    }
+    let n = chunk.len();
+    for j in n.saturating_sub(s)..n {
+        totals[(base + j) % s] = chunk[j];
+    }
+}
+
+// --- Sum: unrolled multi-accumulator stride-1 kernels ----------------------
+
+/// Output size in bytes above which the fused stride-1 sum kernels switch
+/// to non-temporal stores on x86-64.
+///
+/// A cacheable store to a line not in cache first *reads* the line
+/// (write-allocate), so a streaming scan moves 3 bytes per output byte
+/// (read src, read-for-ownership dst, write dst). `movntdq` skips the
+/// ownership read — measured ~1.2–1.5× on the fused pass once the output
+/// no longer fits in cache. Below this threshold the output may be
+/// consumed from cache by the caller, which non-temporal stores would
+/// evict, so the cached path is kept. 8 MiB sits safely past the private
+/// L2 of every deployment target.
+#[cfg(target_arch = "x86_64")]
+const NT_STORE_MIN_BYTES: usize = 8 << 20;
+
+/// Scans one `BLOCK`-element block with Hillis–Steele steps 1, 2, 4, 8
+/// (double-buffered between two register arrays so every step is a
+/// shift-free vector add). No carry applied.
+#[inline]
+fn scan_block<T: ScanElement>(sb: &[T]) -> [T; BLOCK] {
+    let mut a = [T::ZERO; BLOCK];
+    a.copy_from_slice(sb);
+    let mut b = [T::ZERO; BLOCK];
+    // Hillis–Steele: after the step of width d, a[i] holds the sum of
+    // the trailing window of length min(i + 1, 2d).
+    b[..1].copy_from_slice(&a[..1]);
+    for i in 1..BLOCK {
+        b[i] = a[i - 1].add(a[i]);
+    }
+    a[..2].copy_from_slice(&b[..2]);
+    for i in 2..BLOCK {
+        a[i] = b[i - 2].add(b[i]);
+    }
+    b[..4].copy_from_slice(&a[..4]);
+    for i in 4..BLOCK {
+        b[i] = a[i - 4].add(a[i]);
+    }
+    a[..8].copy_from_slice(&b[..8]);
+    for i in 8..BLOCK {
+        a[i] = b[i - 8].add(b[i]);
+    }
+    a
+}
+
+/// Blocked Hillis–Steele over `BLOCK` register accumulators: each block of
+/// 16 elements is scanned in registers ([`scan_block`]), then offset by the
+/// running carry.
+///
+/// Only called for `T::EXACT_ASSOC` element types: the reassociation is
+/// exact for wrapping integer addition, so the result is bit-identical to
+/// the sequential accumulator.
+#[inline]
+fn sum_blocks_from<T: ScanElement>(src: &[T], dst: &mut [T], carry: T) -> T {
+    #[cfg(target_arch = "x86_64")]
+    if std::mem::size_of_val(src) >= NT_STORE_MIN_BYTES
+        && 16 % std::mem::size_of::<T>() == 0
+    {
+        return sum_blocks_from_nt(src, dst, carry);
+    }
+    sum_blocks_from_cached(src, dst, carry)
+}
+
+/// [`sum_blocks_from`] with ordinary (write-allocating) stores.
+#[inline]
+fn sum_blocks_from_cached<T: ScanElement>(src: &[T], dst: &mut [T], mut carry: T) -> T {
+    let mut blocks = src.chunks_exact(BLOCK);
+    let mut out_blocks = dst.chunks_exact_mut(BLOCK);
+    for (sb, db) in (&mut blocks).zip(&mut out_blocks) {
+        let a = scan_block(sb);
+        // Carry fixup: one broadcast add per block.
+        for (d, &v) in db.iter_mut().zip(&a) {
+            *d = carry.add(v);
+        }
+        carry = db[BLOCK - 1];
+    }
+    // Sequential tail (< BLOCK elements).
+    for (d, &v) in out_blocks.into_remainder().iter_mut().zip(blocks.remainder()) {
+        carry = carry.add(v);
+        *d = carry;
+    }
+    carry
+}
+
+/// [`sum_blocks_from`] with `movntdq` stores that bypass the cache
+/// hierarchy, eliminating the read-for-ownership of the destination.
+///
+/// Bit-identical to the cached path (only the store instruction differs).
+/// Dispatch guarantees `size_of::<T>()` divides 16, so the scalar prologue
+/// reaches 16-byte alignment in whole elements and each block covers whole
+/// vectors.
+#[cfg(target_arch = "x86_64")]
+fn sum_blocks_from_nt<T: ScanElement>(src: &[T], dst: &mut [T], mut carry: T) -> T {
+    use std::arch::x86_64::{__m128i, _mm_loadu_si128, _mm_sfence, _mm_stream_si128};
+    let n = src.len();
+    // Scalar prologue until the destination is 16-byte aligned.
+    let mut start = 0;
+    while start < n && !dst[start..].as_ptr().addr().is_multiple_of(16) {
+        carry = carry.add(src[start]);
+        dst[start] = carry;
+        start += 1;
+    }
+    let blocks = (n - start) / BLOCK;
+    let vecs = BLOCK * std::mem::size_of::<T>() / 16;
+    unsafe {
+        let dp = dst.as_mut_ptr().add(start);
+        for blk in 0..blocks {
+            let mut a = scan_block(&src[start + blk * BLOCK..start + (blk + 1) * BLOCK]);
+            for v in &mut a {
+                *v = carry.add(*v);
+            }
+            carry = a[BLOCK - 1];
+            // SAFETY: dp is 16-byte aligned (prologue above) and block
+            // `blk` spans `vecs` whole vectors inside `dst`.
+            let d = dp.add(blk * BLOCK).cast::<__m128i>();
+            for k in 0..vecs {
+                _mm_stream_si128(d.add(k), _mm_loadu_si128(a.as_ptr().cast::<__m128i>().add(k)));
+            }
+        }
+        // Non-temporal stores are weakly ordered: fence before returning so
+        // the CPU engine's subsequent ready-flag release publishes them.
+        _mm_sfence();
+    }
+    for j in start + blocks * BLOCK..n {
+        carry = carry.add(src[j]);
+        dst[j] = carry;
+    }
+    carry
+}
+
+impl<T: ScanElement> ChunkKernel<T> for Sum {
+    fn inclusive_from_stride1(&self, src: &[T], dst: &mut [T]) {
+        if T::EXACT_ASSOC {
+            // Starting the carry at ZERO instead of src[0] is exact for
+            // wrapping integers (ZERO is a true identity).
+            sum_blocks_from(src, dst, T::ZERO);
+            return;
+        }
+        let Some((&first, rest)) = src.split_first() else {
+            return;
+        };
+        let mut acc = first;
+        dst[0] = acc;
+        for (d, &v) in dst[1..].iter_mut().zip(rest) {
+            acc = acc.add(v);
+            *d = acc;
+        }
+    }
+
+    fn inclusive_in_place(&self, data: &mut [T], s: usize) {
+        assert!(s > 0, "stride must be positive");
+        if s == 1 {
+            if T::EXACT_ASSOC {
+                sum_in_place_blocked(data);
+            } else {
+                let Some((&first, _)) = data.split_first() else {
+                    return;
+                };
+                let mut acc = first;
+                for v in &mut data[1..] {
+                    acc = acc.add(*v);
+                    *v = acc;
+                }
+            }
+            return;
+        }
+        for j in s..data.len() {
+            data[j] = data[j - s].add(data[j]);
+        }
+    }
+
+    fn exclusive_from(&self, src: &[T], dst: &mut [T], s: usize) {
+        check_fused(src.len(), dst.len(), s);
+        let n = src.len();
+        if s == 1 && T::EXACT_ASSOC {
+            if n == 0 {
+                return;
+            }
+            // exclusive = inclusive shifted by one: scan src[..n-1] into
+            // dst[1..], identity at the front.
+            dst[0] = T::ZERO;
+            sum_blocks_from(&src[..n - 1], &mut dst[1..], T::ZERO);
+            return;
+        }
+        for d in &mut dst[..s.min(n)] {
+            *d = T::ZERO;
+        }
+        for j in s..n {
+            dst[j] = dst[j - s].add(src[j - s]);
+        }
+    }
+}
+
+/// In-place blocked stride-1 sum scan (`EXACT_ASSOC` types only).
+///
+/// Always uses cacheable stores: in place, every destination line was just
+/// read, so there is no ownership read to elide.
+#[inline]
+fn sum_in_place_blocked<T: ScanElement>(data: &mut [T]) {
+    let mut carry = T::ZERO;
+    let mut blocks = data.chunks_exact_mut(BLOCK);
+    for db in &mut blocks {
+        let a = scan_block(db);
+        for (d, &v) in db.iter_mut().zip(&a) {
+            *d = carry.add(v);
+        }
+        carry = db[BLOCK - 1];
+    }
+    for v in blocks.into_remainder() {
+        carry = carry.add(*v);
+        *v = carry;
+    }
+}
+
+// --- Remaining standard operators: exact-semantics defaults ----------------
+
+impl<T: ScanElement> ChunkKernel<T> for Prod {}
+impl<T: ScanElement> ChunkKernel<T> for Max {}
+impl<T: ScanElement> ChunkKernel<T> for Min {}
+impl<T: IntElement> ChunkKernel<T> for Xor {}
+impl<T: IntElement> ChunkKernel<T> for And {}
+impl<T: IntElement> ChunkKernel<T> for Or {}
+
+impl<T, F> ChunkKernel<T> for FnOp<T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+}
+
+impl<T, Op> ChunkKernel<Packed32<T>> for SegmentedOp<Op>
+where
+    T: Element32,
+    Op: ScanOp<T>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScanSpec;
+    use crate::serial;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<i64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as i64) - (1 << 30)
+            })
+            .collect()
+    }
+
+    /// Reference loops the kernels must match bit-for-bit.
+    fn reference_inclusive<T: Copy>(op: &impl ScanOp<T>, data: &mut [T], s: usize) {
+        for j in s..data.len() {
+            data[j] = op.combine(data[j - s], data[j]);
+        }
+    }
+
+    #[test]
+    fn fused_inclusive_matches_reference_all_strides() {
+        for n in [0usize, 1, 2, 15, 16, 17, 64, 1000, 1023] {
+            for s in [1usize, 2, 3, 7, 16, 40] {
+                let input = pseudo_random(n, 7 + n as u64 + s as u64);
+                let mut expect = input.clone();
+                reference_inclusive(&Sum, &mut expect, s);
+                let mut dst = vec![0i64; n];
+                Sum.inclusive_from(&input, &mut dst, s);
+                assert_eq!(dst, expect, "n={n} s={s}");
+                let mut in_place = input.clone();
+                Sum.inclusive_in_place(&mut in_place, s);
+                assert_eq!(in_place, expect, "in-place n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_exclusive_matches_serial_oracle() {
+        for n in [0usize, 1, 5, 16, 33, 1000] {
+            for s in [1usize, 3, 8] {
+                let input = pseudo_random(n, 11 + n as u64 * 3 + s as u64);
+                let mut expect = input.clone();
+                serial::exclusive_strided_in_place(&mut expect, &Sum, s);
+                let mut dst = vec![0i64; n];
+                Sum.exclusive_from(&input, &mut dst, s);
+                assert_eq!(dst, expect, "n={n} s={s}");
+                let mut in_place = input.clone();
+                Sum.exclusive_in_place(&mut in_place, s);
+                assert_eq!(in_place, expect, "in-place n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_kernels_bitwise_match_sequential_association() {
+        // Sums of many different magnitudes: any reassociation would change
+        // low-order bits somewhere in 10k elements.
+        let input: Vec<f64> = pseudo_random(10_000, 99)
+            .iter()
+            .map(|&v| v as f64 * 1.1e-7)
+            .collect();
+        let mut expect = input.clone();
+        reference_inclusive(&Sum, &mut expect, 1);
+        let mut dst = vec![0.0f64; input.len()];
+        Sum.inclusive_from(&input, &mut dst, 1);
+        let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+        let got_bits: Vec<u64> = dst.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, expect_bits);
+    }
+
+    #[test]
+    fn blocked_sum_matches_for_all_int_widths() {
+        macro_rules! check_width {
+            ($($t:ty),*) => {$(
+                let input: Vec<$t> = pseudo_random(555, 5).iter().map(|&v| v as $t).collect();
+                let mut expect = input.clone();
+                reference_inclusive(&Sum, &mut expect, 1);
+                let mut dst = vec![0 as $t; input.len()];
+                Sum.inclusive_from(&input, &mut dst, 1);
+                assert_eq!(dst, expect, stringify!($t));
+            )*};
+        }
+        check_width!(i32, i64, u32, u64, u8, i16);
+    }
+
+    #[test]
+    fn chunk_scan_with_totals_matches_chunkops() {
+        for (n, s, base) in [(100usize, 3usize, 7usize), (40, 1, 0), (5, 8, 2), (0, 2, 9)] {
+            let input = pseudo_random(n, 3 * n as u64 + s as u64 + base as u64);
+            let mut expect_chunk = input.clone();
+            let expect_totals =
+                crate::chunkops::local_scan_with_totals(&mut expect_chunk, base, s, &Sum);
+
+            let mut fused = vec![0i64; n];
+            let mut totals = vec![0i64; s];
+            Sum.scan_chunk_from(&input, &mut fused, base, s, &mut totals);
+            assert_eq!(fused, expect_chunk, "n={n} s={s} base={base}");
+            assert_eq!(totals, expect_totals, "n={n} s={s} base={base}");
+
+            let mut in_place = input.clone();
+            let mut totals2 = vec![0i64; s];
+            Sum.scan_chunk_in_place(&mut in_place, base, s, &mut totals2);
+            assert_eq!(in_place, expect_chunk);
+            assert_eq!(totals2, expect_totals);
+        }
+    }
+
+    #[test]
+    fn rotating_apply_carry_matches_modulo_reference() {
+        for (n, s, base) in [(50usize, 3usize, 4usize), (33, 1, 0), (10, 7, 13)] {
+            let input = pseudo_random(n, n as u64 + 17 * s as u64);
+            let carry: Vec<i64> = (0..s as i64).map(|l| 1000 * (l + 1)).collect();
+            let mut expect = input.clone();
+            for (j, v) in expect.iter_mut().enumerate() {
+                *v = carry[(base + j) % s].wrapping_add(*v);
+            }
+            let mut got = input.clone();
+            Sum.apply_carry(&mut got, base, &carry);
+            assert_eq!(got, expect, "n={n} s={s} base={base}");
+        }
+    }
+
+    #[test]
+    fn exclusive_rewrite_matches_exclusive_outputs() {
+        for (n, s, base) in [(23usize, 3usize, 5usize), (8, 1, 0), (4, 8, 3), (0, 2, 0)] {
+            let input = pseudo_random(n, 7 * n as u64 + s as u64);
+            let mut scanned = input.clone();
+            reference_inclusive(&Sum, &mut scanned, s);
+            let carry: Vec<i64> = (0..s as i64).map(|l| 31 * (l + 2)).collect();
+            let expect = crate::chunkops::exclusive_outputs(&scanned, base, &carry, &Sum);
+            let mut got = scanned.clone();
+            Sum.exclusive_rewrite(&mut got, base, &carry);
+            assert_eq!(got, expect, "n={n} s={s} base={base}");
+        }
+    }
+
+    #[test]
+    fn non_commutative_operator_uses_default_kernels() {
+        // Affine-map composition (a, b) ∘ (c, d) = (a·c, b·c + d) packed in
+        // u64 halves: associative, not commutative.
+        let compose = FnOp::new(pack(1, 0), |x: u64, y: u64| {
+            let (a1, b1) = unpack(x);
+            let (a2, b2) = unpack(y);
+            pack(a1.wrapping_mul(a2), b1.wrapping_mul(a2).wrapping_add(b2))
+        });
+        let input: Vec<u64> = (0..300u32)
+            .map(|i| pack(i % 5 + 1, i.wrapping_mul(2654435761)))
+            .collect();
+        for s in [1usize, 3] {
+            let spec = ScanSpec::inclusive().with_tuple(s).unwrap();
+            let expect = serial::scan(&input, &compose, &spec);
+            let mut dst = vec![0u64; input.len()];
+            compose.inclusive_from(&input, &mut dst, s);
+            assert_eq!(dst, expect, "s={s}");
+        }
+    }
+
+    fn pack(a: u32, b: u32) -> u64 {
+        (u64::from(a) << 32) | u64::from(b)
+    }
+    fn unpack(x: u64) -> (u32, u32) {
+        ((x >> 32) as u32, x as u32)
+    }
+
+    /// Inputs past [`NT_STORE_MIN_BYTES`] take the non-temporal store path;
+    /// the exclusive form scans into `dst[1..]`, whose start is not 16-byte
+    /// aligned, exercising the scalar alignment prologue.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn nt_store_path_matches_cached_for_large_inputs() {
+        let n = NT_STORE_MIN_BYTES / std::mem::size_of::<i64>() + 37;
+        let input = pseudo_random(n, 21);
+        let mut expect = input.clone();
+        reference_inclusive(&Sum, &mut expect, 1);
+        let mut dst = vec![0i64; n];
+        Sum.inclusive_from(&input, &mut dst, 1);
+        assert_eq!(dst, expect);
+
+        let mut exc_expect = input.clone();
+        serial::exclusive_strided_in_place(&mut exc_expect, &Sum, 1);
+        let mut exc = vec![0i64; n];
+        Sum.exclusive_from(&input, &mut exc, 1);
+        assert_eq!(exc, exc_expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffers must match")]
+    fn fused_length_mismatch_panics() {
+        let mut dst = vec![0i64; 3];
+        Sum.inclusive_from(&[1i64, 2], &mut dst, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        let mut dst = vec![0i64; 2];
+        Sum.inclusive_from(&[1i64, 2], &mut dst, 0);
+    }
+}

@@ -9,6 +9,7 @@
 //! (Section 2.3: "the i-th thread in a block does not necessarily process a
 //! value that belongs to the same location within a tuple ...").
 
+use crate::chunk_kernel::ChunkKernel;
 use crate::op::ScanOp;
 
 /// Computes the in-place strided inclusive scan of `chunk` (stride `s`) and
@@ -20,6 +21,9 @@ use crate::op::ScanOp;
 /// local scan is `chunk[j] = op(chunk[j - s], chunk[j])` regardless of the
 /// base offset; only the *labeling* of the totals depends on `base`.
 ///
+/// Dispatches through [`ChunkKernel`]; engines that need the
+/// allocation-free or fused forms call the trait methods directly.
+///
 /// # Panics
 ///
 /// Panics if `s` is zero.
@@ -27,18 +31,11 @@ pub fn local_scan_with_totals<T: Copy>(
     chunk: &mut [T],
     base: usize,
     s: usize,
-    op: &impl ScanOp<T>,
+    op: &impl ChunkKernel<T>,
 ) -> Vec<T> {
     assert!(s > 0, "stride must be positive");
-    for j in s..chunk.len() {
-        chunk[j] = op.combine(chunk[j - s], chunk[j]);
-    }
     let mut totals = vec![op.identity(); s];
-    let len = chunk.len();
-    // The last element of each lane within the chunk holds that lane's total.
-    for j in len.saturating_sub(s)..len {
-        totals[(base + j) % s] = chunk[j];
-    }
+    op.scan_chunk_in_place(chunk, base, s, &mut totals);
     totals
 }
 
@@ -47,12 +44,8 @@ pub fn local_scan_with_totals<T: Copy>(
 ///
 /// `carry[l]` must be the combination of all elements of lane `l` that
 /// precede this chunk (the identity for the first chunk).
-pub fn apply_carry<T: Copy>(chunk: &mut [T], base: usize, carry: &[T], op: &impl ScanOp<T>) {
-    let s = carry.len();
-    debug_assert!(s > 0);
-    for (j, v) in chunk.iter_mut().enumerate() {
-        *v = op.combine(carry[(base + j) % s], *v);
-    }
+pub fn apply_carry<T: Copy>(chunk: &mut [T], base: usize, carry: &[T], op: &impl ChunkKernel<T>) {
+    op.apply_carry(chunk, base, carry);
 }
 
 /// Derives the exclusive outputs of a chunk from its *pre-carry* inclusive
@@ -60,26 +53,17 @@ pub fn apply_carry<T: Copy>(chunk: &mut [T], base: usize, carry: &[T], op: &impl
 /// earlier same-lane elements, globally.
 ///
 /// `scanned` is the chunk after [`local_scan_with_totals`] but *before*
-/// [`apply_carry`]; `carry` is as in [`apply_carry`].
+/// [`apply_carry`]; `carry` is as in [`apply_carry`]. Allocates the output;
+/// [`ChunkKernel::exclusive_rewrite`] is the in-place form.
 pub fn exclusive_outputs<T: Copy>(
     scanned: &[T],
     base: usize,
     carry: &[T],
-    op: &impl ScanOp<T>,
+    op: &impl ChunkKernel<T>,
 ) -> Vec<T> {
-    let s = carry.len();
-    scanned
-        .iter()
-        .enumerate()
-        .map(|(j, _)| {
-            let lane_carry = carry[(base + j) % s];
-            if j >= s {
-                op.combine(lane_carry, scanned[j - s])
-            } else {
-                lane_carry
-            }
-        })
-        .collect()
+    let mut out = scanned.to_vec();
+    op.exclusive_rewrite(&mut out, base, carry);
+    out
 }
 
 /// Left-to-right combination of a slice of local sums into an accumulator —
@@ -200,7 +184,7 @@ mod tests {
         // (Not associative, but adequate to detect order changes.)
         let op = crate::op::FnOp::new(0i64, |a: i64, b: i64| 2 * a + b);
         let acc = accumulate_carry(1, &[10, 20], &op);
-        assert_eq!(acc, 2 * (2 * 1 + 10) + 20);
+        assert_eq!(acc, 2 * (2 + 10) + 20);
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //!
 //! The conventional prefix sum is `order = 1`, `tuple = 1`.
 
-use serde::{Deserialize, Serialize};
 
 /// Whether position `i` of the result includes the input value at `i`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum ScanKind {
     /// `out[i] = v[0] ⊕ ... ⊕ v[i]`.
     #[default]
@@ -37,7 +36,7 @@ pub enum ScanKind {
 /// assert_eq!(spec.tuple(), 2);
 /// assert_eq!(spec.kind(), ScanKind::Inclusive);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanSpec {
     kind: ScanKind,
     order: u32,
@@ -221,3 +220,6 @@ mod tests {
         assert!(msg.contains("tuple size"));
     }
 }
+
+serde::impl_serialize_unit_enum!(ScanKind { Inclusive, Exclusive });
+serde::impl_serialize_struct!(ScanSpec { kind, order, tuple });

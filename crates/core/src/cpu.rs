@@ -18,12 +18,23 @@
 //! pseudo-associative operators (floating-point addition) are deterministic
 //! for a given worker count and chunk size — the property Section 3.1
 //! contrasts with CUB.
+//!
+//! # Steady-state allocation behaviour
+//!
+//! [`CpuScanner::scan_into`] performs **no per-chunk heap allocation**:
+//! each chunk is scanned directly in the caller's output buffer through the
+//! fused [`ChunkKernel`] kernels (no staging copy of the input), per-worker
+//! lane scratch is allocated once per scan, and the auxiliary sum/ready
+//! arrays live in a grow-only arena owned by the scanner — after the first
+//! scan of a given geometry, repeated scans allocate nothing beyond the
+//! worker threads themselves.
 
+use crate::chunk_kernel::ChunkKernel;
 use crate::chunkops;
 use crate::config::{ScanKind, ScanSpec};
-use crate::op::ScanOp;
 use gpu_sim::Pod64;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A reusable multi-threaded scanner with configurable worker count and
 /// chunk size.
@@ -39,10 +50,56 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// let parallel = scanner.scan(&input, &Sum, &spec);
 /// assert_eq!(parallel, sam_core::serial::scan(&input, &Sum, &spec));
 /// ```
-#[derive(Debug, Clone)]
 pub struct CpuScanner {
     workers: usize,
     chunk_elems: usize,
+    /// Grow-only auxiliary-array arena, reused across scans (see the
+    /// module docs). `try_lock`ed per scan: concurrent scans on a shared
+    /// scanner fall back to a scan-local arena instead of serializing.
+    arena: Mutex<Arena>,
+}
+
+/// Reusable backing store for the per-chunk sum slots and ready counters.
+#[derive(Default)]
+struct Arena {
+    sums: Vec<AtomicU64>,
+    ready: Vec<AtomicU64>,
+}
+
+impl Arena {
+    /// Grows the arrays to the scan's geometry and resets the ready
+    /// counters. Sum slots need no reset: they are only read after the
+    /// matching ready counter is released in this scan.
+    fn prepare(&mut self, chunks: usize, slots: usize) {
+        if self.sums.len() < slots {
+            self.sums.resize_with(slots, || AtomicU64::new(0));
+        }
+        if self.ready.len() < chunks {
+            self.ready.resize_with(chunks, || AtomicU64::new(0));
+        }
+        for r in &self.ready[..chunks] {
+            r.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Clone for CpuScanner {
+    fn clone(&self) -> Self {
+        CpuScanner {
+            workers: self.workers,
+            chunk_elems: self.chunk_elems,
+            arena: Mutex::new(Arena::default()),
+        }
+    }
+}
+
+impl std::fmt::Debug for CpuScanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuScanner")
+            .field("workers", &self.workers)
+            .field("chunk_elems", &self.chunk_elems)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for CpuScanner {
@@ -52,6 +109,7 @@ impl Default for CpuScanner {
         CpuScanner {
             workers,
             chunk_elems: 32 * 1024,
+            arena: Mutex::new(Arena::default()),
         }
     }
 }
@@ -95,7 +153,7 @@ impl CpuScanner {
     pub fn scan<T, Op>(&self, input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
     where
         T: Pod64,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         let mut out = vec![op.identity(); input.len()];
         self.scan_into(input, &mut out, op, spec);
@@ -104,13 +162,18 @@ impl CpuScanner {
 
     /// Scans `input` into a caller-provided buffer of the same length.
     ///
+    /// The steady state is allocation-free per chunk: chunks are scanned
+    /// directly in `out` via the fused [`ChunkKernel`] kernels, and the
+    /// auxiliary arrays come from the scanner's grow-only arena (see the
+    /// module docs).
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != input.len()`.
     pub fn scan_into<T, Op>(&self, input: &[T], out: &mut [T], op: &Op, spec: &ScanSpec)
     where
         T: Pod64,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         assert_eq!(input.len(), out.len(), "output length must match input");
         let n = input.len();
@@ -120,60 +183,87 @@ impl CpuScanner {
         let num_chunks = chunkops::num_chunks(n, self.chunk_elems);
         let k = self.workers.min(num_chunks);
         if k == 1 {
-            out.copy_from_slice(input);
-            crate::serial::scan_in_place(out, op, spec);
+            // Single worker: the fused serial kernels, reading the input
+            // exactly once and writing only `out`.
+            crate::serial::scan_into(input, out, op, spec);
             return;
         }
 
         let q = spec.order() as usize;
         let s = spec.tuple();
+        let exclusive = spec.kind() == ScanKind::Exclusive;
         // Sum slot for (chunk c, iteration i, lane l).
         let sum_idx = |c: usize, iter: usize, lane: usize| (c * q + iter) * s + lane;
-        let sums: Box<[AtomicU64]> = (0..num_chunks * q * s).map(|_| AtomicU64::new(0)).collect();
-        // Ready counters: iterations published per chunk.
-        let ready: Box<[AtomicU64]> = (0..num_chunks).map(|_| AtomicU64::new(0)).collect();
+
+        let mut local_arena = Arena::default();
+        let mut guard = self.arena.try_lock();
+        let arena = match guard {
+            Ok(ref mut held) => &mut **held,
+            Err(_) => &mut local_arena,
+        };
+        arena.prepare(num_chunks, num_chunks * q * s);
+        let sums = &arena.sums[..num_chunks * q * s];
+        let ready = &arena.ready[..num_chunks];
+
         let out_ptr = SyncSlice(out.as_mut_ptr());
         let chunk_elems = self.chunk_elems;
 
         std::thread::scope(|scope| {
             for b in 0..k {
-                let sums = &sums;
-                let ready = &ready;
                 let out_ptr = &out_ptr;
                 scope.spawn(move || {
-                    let mut prev_carry: Vec<Vec<T>> = vec![vec![op.identity(); s]; q];
-                    let mut prev_totals: Vec<Vec<T>> = vec![vec![op.identity(); s]; q];
+                    // Per-worker lane scratch, allocated once per scan:
+                    // carry/totals of this block's previous chunk per
+                    // iteration (flattened `q * s`), plus the working
+                    // carry/totals of the current iteration.
+                    let mut prev_carry: Vec<T> = vec![op.identity(); q * s];
+                    let mut prev_totals: Vec<T> = vec![op.identity(); q * s];
+                    let mut carry: Vec<T> = vec![op.identity(); s];
+                    let mut totals: Vec<T> = vec![op.identity(); s];
 
                     let mut c = b;
                     while c < num_chunks {
                         let range = chunkops::chunk_range(c, chunk_elems, n);
                         let base = range.start;
-                        let mut vals = input[range.clone()].to_vec();
-
-                        let mut pre_carry_scan: Option<Vec<T>> = None;
-                        let mut final_carry: Vec<T> = vec![op.identity(); s];
+                        // SAFETY: each chunk range is written by exactly one
+                        // worker (round-robin ownership), the ranges are
+                        // disjoint, and `out` outlives the scope.
+                        let chunk: &mut [T] = unsafe {
+                            std::slice::from_raw_parts_mut(out_ptr.0.add(base), range.len())
+                        };
 
                         for iter in 0..q {
-                            let totals = chunkops::local_scan_with_totals(&mut vals, base, s, op);
+                            // Local strided scan + per-lane totals. The
+                            // first iteration reads the input in the same
+                            // pass that writes the output chunk.
+                            if iter == 0 {
+                                op.scan_chunk_from(&input[range.clone()], chunk, base, s, &mut totals);
+                            } else {
+                                op.scan_chunk_in_place(chunk, base, s, &mut totals);
+                            }
 
                             // Publish local sums, release the ready counter.
                             for (lane, &t) in totals.iter().enumerate() {
-                                sums[sum_idx(c, iter, lane)]
-                                    .store(t.to_bits(), Ordering::Relaxed);
+                                sums[sum_idx(c, iter, lane)].store(t.to_bits(), Ordering::Relaxed);
                             }
                             ready[c].store((iter + 1) as u64, Ordering::Release);
 
-                            // Gather predecessors (Figure 2).
+                            // Gather predecessors (Figure 2): start from the
+                            // carry + local sums this worker produced `k`
+                            // chunks ago, then fold the `k - 1` in between.
                             let first_pred = c.saturating_sub(k - 1);
-                            let mut carry: Vec<T> = if c >= k {
-                                (0..s)
-                                    .map(|l| {
-                                        op.combine(prev_carry[iter][l], prev_totals[iter][l])
-                                    })
-                                    .collect()
+                            if c >= k {
+                                for l in 0..s {
+                                    carry[l] = op.combine(
+                                        prev_carry[iter * s + l],
+                                        prev_totals[iter * s + l],
+                                    );
+                                }
                             } else {
-                                vec![op.identity(); s]
-                            };
+                                for slot in carry.iter_mut() {
+                                    *slot = op.identity();
+                                }
+                            }
                             for j in first_pred..c {
                                 wait_for(&ready[j], (iter + 1) as u64);
                                 for (l, slot) in carry.iter_mut().enumerate() {
@@ -184,29 +274,16 @@ impl CpuScanner {
                                 }
                             }
 
-                            prev_totals[iter] = totals;
-                            prev_carry[iter] = carry.clone();
+                            prev_totals[iter * s..iter * s + s].copy_from_slice(&totals);
+                            prev_carry[iter * s..iter * s + s].copy_from_slice(&carry);
 
-                            if iter + 1 == q && spec.kind() == ScanKind::Exclusive {
-                                pre_carry_scan = Some(std::mem::take(&mut vals));
-                                final_carry = carry;
+                            if iter + 1 == q && exclusive {
+                                // The chunk holds its pre-carry local scan;
+                                // rewrite it into exclusive outputs in place.
+                                op.exclusive_rewrite(chunk, base, &carry);
                             } else {
-                                chunkops::apply_carry(&mut vals, base, &carry, op);
+                                op.apply_carry(chunk, base, &carry);
                             }
-                        }
-
-                        let out_vals = match pre_carry_scan {
-                            Some(scanned) => {
-                                chunkops::exclusive_outputs(&scanned, base, &final_carry, op)
-                            }
-                            None => vals,
-                        };
-                        // SAFETY: each chunk range is written by exactly one
-                        // worker (round-robin ownership), and `out` outlives
-                        // the scope.
-                        unsafe {
-                            let dst = out_ptr.0.add(base);
-                            std::ptr::copy_nonoverlapping(out_vals.as_ptr(), dst, out_vals.len());
                         }
 
                         c += k;
@@ -225,13 +302,31 @@ unsafe impl<T: Send> Sync for SyncSlice<T> {}
 unsafe impl<T: Send> Send for SyncSlice<T> {}
 
 /// Spins until `flag` reaches at least `target`, acquiring its publication.
-/// Backs off to an OS yield so progress never depends on core count.
+///
+/// The fast path is a single load; the miss path backs off exponentially
+/// (doubling bursts of `spin_loop` hints up to ~1k) before falling back to
+/// OS yields, so progress never depends on core count and waiting workers
+/// leave the memory bus to the one publishing.
+#[inline]
 fn wait_for(flag: &AtomicU64, target: u64) {
-    let mut spins = 0u32;
-    while flag.load(Ordering::Acquire) < target {
-        spins += 1;
-        if spins < 64 {
+    if flag.load(Ordering::Acquire) >= target {
+        return;
+    }
+    wait_for_slow(flag, target);
+}
+
+#[cold]
+fn wait_for_slow(flag: &AtomicU64, target: u64) {
+    let mut burst = 1u32;
+    loop {
+        for _ in 0..burst {
             std::hint::spin_loop();
+        }
+        if flag.load(Ordering::Acquire) >= target {
+            return;
+        }
+        if burst < 1024 {
+            burst <<= 1;
         } else {
             std::thread::yield_now();
         }
@@ -358,6 +453,62 @@ mod tests {
             .with_chunk_elems(512)
             .scan_into(&input, &mut out, &Sum, &ScanSpec::inclusive());
         assert_eq!(out, crate::serial::scan(&input, &Sum, &ScanSpec::inclusive()));
+    }
+
+    #[test]
+    fn repeated_scans_reuse_the_arena() {
+        let input = pseudo_random(50_000);
+        let scanner = CpuScanner::new(4).with_chunk_elems(256);
+        let spec = ScanSpec::inclusive().with_order(2).unwrap();
+        let expect = crate::serial::scan(&input, &Sum, &spec);
+        let mut out = vec![0i64; input.len()];
+        for _ in 0..3 {
+            out.fill(0);
+            scanner.scan_into(&input, &mut out, &Sum, &spec);
+            assert_eq!(out, expect);
+        }
+        // The arena kept its high-water marks.
+        let arena = scanner.arena.lock().unwrap();
+        let chunks = chunkops::num_chunks(input.len(), 256);
+        assert!(arena.ready.len() >= chunks);
+        assert!(arena.sums.len() >= chunks * 2);
+    }
+
+    #[test]
+    fn concurrent_scans_on_a_shared_scanner() {
+        let scanner = CpuScanner::new(2).with_chunk_elems(128);
+        let input = pseudo_random(20_000);
+        let spec = ScanSpec::inclusive();
+        let expect = crate::serial::scan(&input, &Sum, &spec);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let scanner = &scanner;
+                let input = &input;
+                let expect = &expect;
+                let spec = &spec;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        assert_eq!(&scanner.scan(input, &Sum, spec), expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn clone_starts_with_a_fresh_arena() {
+        let scanner = CpuScanner::new(3).with_chunk_elems(64);
+        let input = pseudo_random(5000);
+        scanner.scan(&input, &Sum, &ScanSpec::inclusive());
+        let cloned = scanner.clone();
+        assert_eq!(cloned.workers(), 3);
+        assert_eq!(cloned.chunk_elems(), 64);
+        assert!(cloned.arena.lock().unwrap().ready.is_empty());
+        // And the clone still scans correctly.
+        assert_eq!(
+            cloned.scan(&input, &Sum, &ScanSpec::inclusive()),
+            crate::serial::scan(&input, &Sum, &ScanSpec::inclusive())
+        );
     }
 
     #[test]

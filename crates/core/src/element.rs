@@ -29,6 +29,14 @@ pub trait ScanElement:
     const MIN_VALUE: Self;
     /// Identity of `min` (the largest representable value).
     const MAX_VALUE: Self;
+    /// Whether [`ScanElement::add`] is *exactly* associative, so kernels may
+    /// reassociate sums freely without changing the result bit-for-bit.
+    ///
+    /// True for the wrapping integer types (two's-complement addition is a
+    /// commutative group); false for floats, whose addition is only
+    /// pseudo-associative — float kernels must keep the serial left-to-right
+    /// association to stay deterministic (paper Section 3.1).
+    const EXACT_ASSOC: bool;
 
     /// Wrapping addition (plain addition for floats).
     fn add(self, other: Self) -> Self;
@@ -63,6 +71,7 @@ macro_rules! impl_scan_int {
             const ONE: Self = 1;
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
+            const EXACT_ASSOC: bool = true;
 
             #[inline]
             fn add(self, other: Self) -> Self {
@@ -116,6 +125,7 @@ macro_rules! impl_scan_float {
             const ONE: Self = 1.0;
             const MIN_VALUE: Self = <$t>::NEG_INFINITY;
             const MAX_VALUE: Self = <$t>::INFINITY;
+            const EXACT_ASSOC: bool = false;
 
             #[inline]
             fn add(self, other: Self) -> Self {

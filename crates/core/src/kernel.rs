@@ -42,9 +42,9 @@
 //! not the simulator's backing allocation — is what determines locality on
 //! the real device.
 
+use crate::chunk_kernel::ChunkKernel;
 use crate::chunkops;
 use crate::config::{ScanKind, ScanSpec};
-use crate::op::ScanOp;
 use gpu_sim::Pod64;
 use gpu_sim::{
     AccessClass, AtomicWordBuffer, BlockContext, CarryScheme, EventKind, GlobalBuffer, Gpu,
@@ -174,7 +174,7 @@ pub fn scan_on_gpu<T, Op>(
 ) -> (Vec<T>, SamRunInfo)
 where
     T: Pod64,
-    Op: ScanOp<T>,
+    Op: ChunkKernel<T>,
 {
     assert!(params.items_per_thread > 0, "items_per_thread must be positive");
     let threads = gpu.spec().threads_per_block as usize;
@@ -260,8 +260,10 @@ where
             let mut vals = vec![op.identity(); len];
             input_buf.load_block(m, base, &mut vals, AccessClass::Element);
 
-            let mut pre_carry_scan: Option<Vec<T>> = None;
-            let mut final_carry: Vec<T> = vec![op.identity(); s];
+            // Set on the last iteration of an exclusive scan: the chunk is
+            // left holding its pre-carry local scan and rewritten in place
+            // just before the store.
+            let mut exclusive_carry: Option<Vec<T>> = None;
 
             for iter in 0..q {
                 // --- Local strided scan + per-lane totals ----------------
@@ -333,8 +335,7 @@ where
                 let exclusive_last =
                     iter + 1 == q && spec.kind() == ScanKind::Exclusive;
                 if exclusive_last {
-                    pre_carry_scan = Some(vals.clone());
-                    final_carry = carry;
+                    exclusive_carry = Some(carry);
                 } else {
                     chunkops::apply_carry(&mut vals, base, &carry, op);
                     m.add_compute(len as u64);
@@ -342,15 +343,11 @@ where
             }
 
             // --- Store the chunk once, fully coalesced -------------------
-            let out_vals = match pre_carry_scan {
-                Some(scanned) => {
-                    let out = chunkops::exclusive_outputs(&scanned, base, &final_carry, op);
-                    m.add_compute(len as u64);
-                    out
-                }
-                None => std::mem::take(&mut vals),
-            };
-            output_buf.store_block(m, base, &out_vals, AccessClass::Element);
+            if let Some(carry) = exclusive_carry.take() {
+                op.exclusive_rewrite(&mut vals, base, &carry);
+                m.add_compute(len as u64);
+            }
+            output_buf.store_block(m, base, &vals, AccessClass::Element);
             ctx.emit(c as u64, EventKind::ChunkDone);
 
             if params.aux == AuxMode::Ring {

@@ -37,6 +37,7 @@
 
 pub mod autotune;
 pub mod block_scan;
+pub mod chunk_kernel;
 pub mod chunkops;
 pub mod config;
 pub mod cpu;
@@ -48,11 +49,12 @@ pub mod segmented;
 pub mod serial;
 pub mod validate;
 
+pub use chunk_kernel::ChunkKernel;
 pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
 pub use op::ScanOp;
-pub use scanner::{Engine, Scanner};
+pub use scanner::{Engine, Scanner, AUTO_PARALLEL_THRESHOLD};
 
 /// Scans `input` according to `spec`, using the multi-threaded CPU engine
 /// for large inputs and the serial engine for small ones.
@@ -63,10 +65,9 @@ pub use scanner::{Engine, Scanner};
 pub fn scan<T, Op>(input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
 where
     T: ScanElement,
-    Op: ScanOp<T>,
+    Op: chunk_kernel::ChunkKernel<T>,
 {
-    const PARALLEL_THRESHOLD: usize = 1 << 16;
-    if input.len() < PARALLEL_THRESHOLD {
+    if input.len() < scanner::AUTO_PARALLEL_THRESHOLD {
         serial::scan(input, op, spec)
     } else {
         cpu::CpuScanner::default().scan(input, op, spec)

@@ -16,12 +16,33 @@
 //! # Ok::<(), sam_core::SpecError>(())
 //! ```
 
+use crate::chunk_kernel::ChunkKernel;
 use crate::config::{ScanKind, ScanSpec, SpecError};
 use crate::cpu::CpuScanner;
 use crate::element::ScanElement;
 use crate::kernel::{scan_on_gpu, SamParams};
-use crate::op::ScanOp;
 use gpu_sim::{DeviceSpec, Gpu};
+
+/// Crossover size (elements) below which [`Engine::Auto`] and
+/// [`crate::scan`] use the serial engine instead of the multi-threaded one.
+///
+/// Calibrated on the reference host (Xeon 2.1 GHz, 48 KiB L1d / 2 MiB L2)
+/// by timing the two one-shot library paths this threshold actually
+/// chooses between — `serial::scan` (copy + in-place) versus
+/// `CpuScanner::scan` (allocate + fused `scan_into`) — for order-1 tuple-1
+/// i64 sums: serial wins at 2^12 (1.93 vs 1.81 Gelem/s), the CPU engine
+/// wins from 2^14 up (1.82 vs 1.73 Gelem/s, widening to 1.5 vs 1.1 at
+/// 2^20), so the crossover sits at 2^14 — roughly where the working set
+/// leaves L1 and the allocation overhead amortizes. Note `BENCH_cpu.json`
+/// (from `crates/bench/src/bin/throughput.rs`) reuses the output buffer
+/// across repetitions, so it shows the *steady-state* `scan_into` picture,
+/// where the fused CPU path wins at every size; callers who hold a buffer
+/// should call `CpuScanner::scan_into` directly and skip `Engine::Auto`.
+/// On single-core hosts the CPU engine degenerates to the same fused
+/// serial kernels, so the threshold is not load-bearing there. Re-time the
+/// one-shot paths after kernel changes and move this crossover if the
+/// curves shift.
+pub const AUTO_PARALLEL_THRESHOLD: usize = 1 << 14;
 
 /// Which engine executes the scan.
 #[derive(Debug, Clone)]
@@ -50,9 +71,12 @@ impl Engine {
         Engine::Cpu(CpuScanner::new(workers))
     }
 
-    /// The default adaptive engine.
+    /// The default adaptive engine, crossing over at
+    /// [`AUTO_PARALLEL_THRESHOLD`].
     pub fn auto() -> Self {
-        Engine::Auto { threshold: 1 << 16 }
+        Engine::Auto {
+            threshold: AUTO_PARALLEL_THRESHOLD,
+        }
     }
 
     /// A simulated Titan X with auto-tuned parameters.
@@ -135,7 +159,7 @@ impl Scanner {
     pub fn scan<T, Op>(&self, input: &[T], op: &Op) -> Vec<T>
     where
         T: ScanElement,
-        Op: ScanOp<T>,
+        Op: ChunkKernel<T>,
     {
         match &self.engine {
             Engine::Serial => crate::serial::scan(input, op, &self.spec),

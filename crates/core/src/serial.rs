@@ -12,23 +12,22 @@
 //!
 //! generalized to stride `s` (tuples) and iterated `q` times (order).
 
+use crate::chunk_kernel::ChunkKernel;
 use crate::config::{ScanKind, ScanSpec};
-use crate::op::ScanOp;
 
 /// One pass of an inclusive scan with stride `s`, in place:
 /// `a[i] = op(a[i - s], a[i])` for `i >= s`.
 ///
 /// With `s = 1` this is the conventional inclusive scan; with `s > 1` it
-/// computes `s` interleaved scans (Section 2.3).
+/// computes `s` interleaved scans (Section 2.3). Dispatches through
+/// [`ChunkKernel`], so operators with specialized kernels (integer `Sum`)
+/// run vectorized; results are bit-identical either way.
 ///
 /// # Panics
 ///
 /// Panics if `stride` is zero.
-pub fn inclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, stride: usize) {
-    assert!(stride > 0, "stride must be positive");
-    for i in stride..data.len() {
-        data[i] = op.combine(data[i - stride], data[i]);
-    }
+pub fn inclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, stride: usize) {
+    op.inclusive_in_place(data, stride);
 }
 
 /// One pass of an exclusive scan with stride `s`, in place: position `i`
@@ -38,20 +37,8 @@ pub fn inclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, 
 /// # Panics
 ///
 /// Panics if `stride` is zero.
-pub fn exclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, stride: usize) {
-    assert!(stride > 0, "stride must be positive");
-    let n = data.len();
-    // Walk each residue class independently, carrying the running prefix.
-    for lane in 0..stride.min(n) {
-        let mut acc = op.identity();
-        let mut i = lane;
-        while i < n {
-            let v = data[i];
-            data[i] = acc;
-            acc = op.combine(acc, v);
-            i += stride;
-        }
-    }
+pub fn exclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, stride: usize) {
+    op.exclusive_in_place(data, stride);
 }
 
 /// Computes the generalized scan described by `spec` over `input`.
@@ -60,20 +47,50 @@ pub fn exclusive_strided_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, 
 /// first `q - 1` iterations are inclusive and the final one is exclusive
 /// (the natural generalization: the result is the exclusive form of the
 /// `q`-th order inclusive scan).
-pub fn scan<T: Copy>(input: &[T], op: &impl ScanOp<T>, spec: &ScanSpec) -> Vec<T> {
+pub fn scan<T: Copy>(input: &[T], op: &impl ChunkKernel<T>, spec: &ScanSpec) -> Vec<T> {
     let mut out = input.to_vec();
     scan_in_place(&mut out, op, spec);
     out
 }
 
 /// In-place version of [`scan`].
-pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ScanOp<T>, spec: &ScanSpec) {
+pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, spec: &ScanSpec) {
     let s = spec.tuple();
     for iter in 0..spec.order() {
         let last = iter + 1 == spec.order();
         match (last, spec.kind()) {
-            (true, ScanKind::Exclusive) => exclusive_strided_in_place(data, op, s),
-            _ => inclusive_strided_in_place(data, op, s),
+            (true, ScanKind::Exclusive) => op.exclusive_in_place(data, s),
+            _ => op.inclusive_in_place(data, s),
+        }
+    }
+}
+
+/// Scans `input` into a caller-provided buffer of the same length, fusing
+/// the first iteration with the read of `input`: the output buffer is the
+/// only memory written, and `input` is read exactly once.
+///
+/// For first-order scans this halves memory traffic versus
+/// copy-then-[`scan_in_place`]; higher orders run their remaining
+/// iterations in place on `out`. Results are bit-identical to [`scan`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != input.len()`.
+pub fn scan_into<T: Copy>(input: &[T], out: &mut [T], op: &impl ChunkKernel<T>, spec: &ScanSpec) {
+    assert_eq!(input.len(), out.len(), "output length must match input");
+    let s = spec.tuple();
+    let q = spec.order();
+    // Iteration 0 reads the input directly; later iterations are in place.
+    if q == 1 && spec.kind() == ScanKind::Exclusive {
+        op.exclusive_from(input, out, s);
+        return;
+    }
+    op.inclusive_from(input, out, s);
+    for iter in 1..q {
+        let last = iter + 1 == q;
+        match (last, spec.kind()) {
+            (true, ScanKind::Exclusive) => op.exclusive_in_place(out, s),
+            _ => op.inclusive_in_place(out, s),
         }
     }
 }
@@ -215,6 +232,27 @@ mod tests {
         let input = [1i32, 2, 3];
         // Every element is the first of its lane: scan is the identity map.
         assert_eq!(scan(&input, &Sum, &spec), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scan_into_matches_scan_for_all_spec_shapes() {
+        let input: Vec<i64> = (0..500).map(|i| (i * 37 % 101) - 50).collect();
+        for order in [1u32, 2, 5] {
+            for tuple in [1usize, 3, 8] {
+                for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                    let spec = ScanSpec::inclusive()
+                        .with_order(order)
+                        .unwrap()
+                        .with_tuple(tuple)
+                        .unwrap()
+                        .with_kind(kind);
+                    let expect = scan(&input, &Sum, &spec);
+                    let mut out = vec![0i64; input.len()];
+                    scan_into(&input, &mut out, &Sum, &spec);
+                    assert_eq!(out, expect, "order={order} tuple={tuple} kind={kind:?}");
+                }
+            }
+        }
     }
 
     #[test]

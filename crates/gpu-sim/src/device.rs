@@ -12,10 +12,9 @@
 //! paper, and the two evaluation devices (K40, Titan X) additionally carry
 //! the parameters quoted in Section 4 (Experimental Methodology).
 
-use serde::{Deserialize, Serialize};
 
 /// NVIDIA GPU architecture generations covered by Table 1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Generation {
     /// Tesla (compute capability 1.x), e.g. the C1060.
     Tesla,
@@ -56,7 +55,7 @@ impl std::fmt::Display for Generation {
 /// // Table 1 reports af * 1000 = 1.46 for the Titan X.
 /// assert!((titan.architectural_factor() * 1000.0 - 1.46).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, e.g. `"GeForce GTX Titan X"`.
     pub name: &'static str,
@@ -311,3 +310,23 @@ mod tests {
         }
     }
 }
+
+serde::impl_serialize_unit_enum!(Generation { Tesla, Fermi, Kepler, Maxwell });
+serde::impl_serialize_struct!(DeviceSpec {
+    name,
+    generation,
+    sms,
+    min_blocks_per_sm,
+    threads_per_block,
+    registers_per_thread,
+    processing_elements,
+    max_resident_threads,
+    core_clock_mhz,
+    mem_clock_mhz,
+    peak_bandwidth_gbs,
+    l2_bytes,
+    global_mem_bytes,
+    shared_mem_per_sm_bytes,
+    warp_width,
+    tdp_watts,
+});

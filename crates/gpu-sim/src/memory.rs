@@ -441,7 +441,7 @@ mod tests {
         assert_eq!(u32::from_bits(7u32.to_bits()), 7);
         assert_eq!(f32::from_bits((3.25f32).to_bits()), 3.25);
         assert_eq!(f64::from_bits((-0.5f64).to_bits()), -0.5);
-        assert_eq!(<f64 as Pod64>::from_bits((f64::NAN).to_bits()).is_nan(), true);
+        assert!(<f64 as Pod64>::from_bits((f64::NAN).to_bits()).is_nan());
     }
 
     #[test]

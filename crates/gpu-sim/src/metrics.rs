@@ -11,7 +11,6 @@
 //! Counters are relaxed atomics so that persistent-block kernels running on
 //! real OS threads can share one [`Metrics`] instance.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Distinguishes traffic on the element arrays (the data being scanned)
@@ -174,7 +173,7 @@ impl Metrics {
 
 /// Plain-value copy of the counters in [`Metrics`], suitable for reporting
 /// and for feeding the performance model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Number of grid launches.
     pub kernel_launches: u64,
@@ -325,3 +324,20 @@ mod tests {
         assert_eq!(s.elem_bytes(8), 512);
     }
 }
+
+serde::impl_serialize_struct!(MetricsSnapshot {
+    kernel_launches,
+    elem_read_transactions,
+    elem_write_transactions,
+    elem_read_words,
+    elem_write_words,
+    aux_read_transactions,
+    aux_write_transactions,
+    spill_transactions,
+    flag_polls,
+    fences,
+    barriers,
+    shuffles,
+    compute_ops,
+    shared_accesses,
+});

@@ -8,10 +8,9 @@
 //! auto-tuner's register-pressure reasoning to real limits.
 
 use crate::device::DeviceSpec;
-use serde::{Deserialize, Serialize};
 
 /// Resource usage of one kernel launch configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelResources {
     /// Registers each thread uses.
     pub registers_per_thread: u32,
@@ -22,7 +21,7 @@ pub struct KernelResources {
 }
 
 /// What stops more blocks from becoming resident.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Limiter {
     /// Register file exhausted.
     Registers,
@@ -35,7 +34,7 @@ pub enum Limiter {
 }
 
 /// Result of an occupancy calculation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Occupancy {
     /// Blocks resident per SM.
     pub blocks_per_sm: u32,
@@ -91,11 +90,9 @@ impl DeviceSpec {
             ),
             (
                 Limiter::SharedMemory,
-                if res.shared_bytes_per_block == 0 {
-                    u32::MAX
-                } else {
-                    self.shared_mem_per_sm_bytes / res.shared_bytes_per_block
-                },
+                self.shared_mem_per_sm_bytes
+                    .checked_div(res.shared_bytes_per_block)
+                    .unwrap_or(u32::MAX),
             ),
             (
                 Limiter::ThreadSlots,
@@ -192,3 +189,16 @@ mod tests {
         });
     }
 }
+
+serde::impl_serialize_unit_enum!(Limiter { Registers, SharedMemory, ThreadSlots, BlockSlots });
+serde::impl_serialize_struct!(KernelResources {
+    registers_per_thread,
+    shared_bytes_per_block,
+    threads_per_block,
+});
+serde::impl_serialize_struct!(Occupancy {
+    blocks_per_sm,
+    resident_threads_per_sm,
+    fraction,
+    limiter,
+});

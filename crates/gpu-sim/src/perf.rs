@@ -38,10 +38,9 @@
 
 use crate::device::DeviceSpec;
 use crate::metrics::MetricsSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// How a single-pass kernel propagates carries between dependent blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CarryScheme {
     /// No inter-block carries (memcpy, multi-kernel phases).
     None,
@@ -82,7 +81,7 @@ pub enum CarryScheme {
 /// algorithm structure — e.g. CUB's PTX assembly and per-architecture kernel
 /// specializations give it a higher sustained memory efficiency on Kepler
 /// than SAM's fixed, portable kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlgoTuning {
     /// Fraction of theoretical peak DRAM bandwidth sustained at saturation.
     pub mem_efficiency: f64,
@@ -134,7 +133,7 @@ impl Default for AlgoTuning {
 
 /// Input to a performance estimate: the problem, the measured (or
 /// extrapolated) counts, and the carry scheme.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunProfile {
     /// Human-readable algorithm name (reported in harness output).
     pub algorithm: String,
@@ -151,7 +150,7 @@ pub struct RunProfile {
 }
 
 /// Which resource bounds the estimated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {
     /// DRAM bandwidth bound.
     Memory,
@@ -164,7 +163,7 @@ pub enum Bound {
 }
 
 /// Result of a performance estimate, with its additive breakdown in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfEstimate {
     /// Total estimated kernel time in seconds.
     pub seconds: f64,
@@ -340,7 +339,7 @@ impl PerfModel {
 /// the kernel's runtime, plus per-byte DRAM energy, plus per-operation
 /// core energy. Communication-optimal algorithms win twice — less DRAM
 /// energy *and* less static energy (shorter runtime).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyEstimate {
     /// Total energy in joules.
     pub joules: f64,
@@ -544,5 +543,72 @@ mod tests {
         let mut p = profile(1, 2, 1, CarryScheme::None);
         p.n = 0;
         model.estimate(&p);
+    }
+}
+
+serde::impl_serialize_unit_enum!(Bound { Memory, Compute, Overhead, SerialChain });
+serde::impl_serialize_struct!(AlgoTuning {
+    mem_efficiency,
+    ramp_n_half,
+    launch_overhead_us,
+    pass_overhead_us,
+    ipc,
+    carry_hop_us,
+    aux_l2_hit,
+    overlap_p,
+    uncoalesced_absorb,
+});
+serde::impl_serialize_struct!(RunProfile {
+    algorithm,
+    n,
+    elem_bytes,
+    metrics,
+    carry,
+    tuning,
+});
+serde::impl_serialize_struct!(PerfEstimate {
+    seconds,
+    throughput,
+    mem_seconds,
+    compute_seconds,
+    launch_seconds,
+    fill_seconds,
+    serial_excess_seconds,
+    bound,
+});
+serde::impl_serialize_struct!(EnergyEstimate {
+    joules,
+    static_joules,
+    dram_joules,
+    compute_joules,
+    nj_per_item,
+});
+
+impl serde::Serialize for CarryScheme {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStructVariant;
+        match self {
+            CarryScheme::None => serializer.serialize_unit_variant("CarryScheme", 0, "None"),
+            CarryScheme::SamDecoupled { k, chunks, orders } => {
+                let mut sv =
+                    serializer.serialize_struct_variant("CarryScheme", 1, "SamDecoupled", 3)?;
+                sv.serialize_field("k", k)?;
+                sv.serialize_field("chunks", chunks)?;
+                sv.serialize_field("orders", orders)?;
+                sv.end()
+            }
+            CarryScheme::Chained { k, chunks } => {
+                let mut sv = serializer.serialize_struct_variant("CarryScheme", 2, "Chained", 2)?;
+                sv.serialize_field("k", k)?;
+                sv.serialize_field("chunks", chunks)?;
+                sv.end()
+            }
+            CarryScheme::Lookback { k, chunks } => {
+                let mut sv = serializer.serialize_struct_variant("CarryScheme", 3, "Lookback", 2)?;
+                sv.serialize_field("k", k)?;
+                sv.serialize_field("chunks", chunks)?;
+                sv.end()
+            }
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! [`Gpu::with_trace`](crate::Gpu::with_trace); the disabled path is a
 //! single `Option` check per emission site.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What happened.
@@ -64,7 +64,7 @@ impl EventLog {
     /// Appends an event, assigning it the next sequence number.
     pub fn emit(&self, block: usize, chunk: u64, kind: EventKind) {
         let seq = self.counter.fetch_add(1, Ordering::Relaxed);
-        self.events.lock().push(Event {
+        self.events.lock().expect("event log lock").push(Event {
             seq,
             block,
             chunk,
@@ -74,19 +74,19 @@ impl EventLog {
 
     /// Snapshots the events in emission order.
     pub fn events(&self) -> Vec<Event> {
-        let mut v = self.events.lock().clone();
+        let mut v = self.events.lock().expect("event log lock").clone();
         v.sort_by_key(|e| e.seq);
         v
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("event log lock").len()
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events.lock().expect("event log lock").is_empty()
     }
 
     /// Sequence number of the first event matching `pred`, if any.

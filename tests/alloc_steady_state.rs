@@ -1,0 +1,85 @@
+//! Steady-state allocation discipline of [`CpuScanner::scan_into`]: after
+//! the first scan has grown the scanner's arena, further scans must not
+//! allocate per chunk. A counting global allocator measures exact
+//! allocation counts; everything runs in a single `#[test]` so parallel
+//! test threads cannot contaminate the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::ScanSpec;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn scan_into_does_not_allocate_per_chunk() {
+    let spec = ScanSpec::inclusive().with_order(2).unwrap().with_tuple(3).unwrap();
+    let input: Vec<i64> = (0..65_536).map(|i| (i % 977) - 400).collect();
+    let mut out = vec![0i64; input.len()];
+    let expect = sam_core::serial::scan(&input, &Sum, &spec);
+
+    // Single-worker path: degenerates to the fused serial kernel, which
+    // needs no scratch at all once `out` exists.
+    let serial_scanner = CpuScanner::new(1);
+    serial_scanner.scan_into(&input, &mut out, &Sum, &spec); // warm-up
+    let single = allocs_during(|| {
+        for _ in 0..5 {
+            serial_scanner.scan_into(&input, &mut out, &Sum, &spec);
+        }
+    });
+    assert_eq!(single, 0, "single-worker steady state must be allocation-free");
+    assert_eq!(out, expect);
+
+    // Multi-worker path: compare a few-chunks geometry against a
+    // many-chunks geometry on the same input. Worker spawn and per-worker
+    // scratch may allocate a bounded number of times per scan, but nothing
+    // may scale with the chunk count.
+    let few = CpuScanner::new(3).with_chunk_elems(32_768); // 2 chunks
+    let many = CpuScanner::new(3).with_chunk_elems(32); // 2048 chunks
+    few.scan_into(&input, &mut out, &Sum, &spec); // warm-up (grows arena)
+    many.scan_into(&input, &mut out, &Sum, &spec); // warm-up (grows arena)
+
+    let allocs_few = allocs_during(|| few.scan_into(&input, &mut out, &Sum, &spec));
+    let allocs_many = allocs_during(|| many.scan_into(&input, &mut out, &Sum, &spec));
+    assert_eq!(out, expect);
+
+    // 2048 chunks vs 2 chunks: any per-chunk allocation would add ≥ 2046.
+    // Thread spawning costs a handful of allocations per scan with some
+    // run-to-run jitter, so allow a fixed (chunk-independent) budget.
+    assert!(
+        allocs_many <= allocs_few + 64 && allocs_many < 256,
+        "allocations scale with chunk count: {allocs_few} for 2 chunks, \
+         {allocs_many} for 2048 chunks"
+    );
+}

@@ -1,0 +1,184 @@
+//! Engine-equivalence properties for the chunk-kernel dispatch layer: the
+//! multi-threaded CPU engine must match the serial oracle **bit-for-bit**
+//! across the full order × tuple × kind grid, for every worker count and
+//! chunk geometry — including chunk sizes that are not multiples of the
+//! tuple stride, float elements, a non-commutative operator, and
+//! degenerate input shapes.
+
+use proptest::prelude::*;
+use sam_core::cpu::CpuScanner;
+use sam_core::op::{FnOp, Sum};
+use sam_core::{serial, ScanKind, ScanSpec};
+
+const ORDERS: [u32; 4] = [1, 2, 5, 8];
+const TUPLES: [usize; 4] = [1, 2, 5, 8];
+const WORKERS: [usize; 4] = [1, 2, 3, 8];
+const KINDS: [ScanKind; 2] = [ScanKind::Inclusive, ScanKind::Exclusive];
+
+fn pseudo_random(n: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64) - (1 << 30)
+        })
+        .collect()
+}
+
+/// The full grid: orders {1,2,5,8} × tuples {1,2,5,8} × both kinds, each
+/// under every worker count and three chunk geometries (one smaller than
+/// and coprime to every stride, one coprime mid-size, one spanning the
+/// whole input as a single chunk).
+#[test]
+fn cpu_matches_serial_across_grid() {
+    // 997 is prime: never a multiple of the stride, and the final chunk is
+    // short for every chunk size below.
+    let input = pseudo_random(997, 1);
+    for kind in KINDS {
+        for order in ORDERS {
+            for tuple in TUPLES {
+                let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+                let expect = serial::scan(&input, &Sum, &spec);
+                for workers in WORKERS {
+                    for chunk in [3usize, 97, 2000] {
+                        let got = CpuScanner::new(workers)
+                            .with_chunk_elems(chunk)
+                            .scan(&input, &Sum, &spec);
+                        assert_eq!(
+                            got, expect,
+                            "kind={kind:?} order={order} tuple={tuple} \
+                             workers={workers} chunk={chunk}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Float sums compared via `to_bits`. Inputs are integer-valued and small
+/// enough that every partial sum is exactly representable (well below
+/// 2^53), so any association produces the same value and the engines must
+/// agree in every bit. Order 8 is excluded: its iterated sums of 300
+/// elements exceed 2^53 and exact associativity no longer holds.
+#[test]
+fn f64_sum_bitwise_matches_serial() {
+    let input: Vec<f64> = pseudo_random(300, 9)
+        .iter()
+        .map(|&v| (v % 10) as f64)
+        .collect();
+    for kind in KINDS {
+        for order in [1u32, 2, 5] {
+            for tuple in TUPLES {
+                let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+                let expect = serial::scan(&input, &Sum, &spec);
+                for workers in [1usize, 3, 8] {
+                    let got = CpuScanner::new(workers)
+                        .with_chunk_elems(41)
+                        .scan(&input, &Sum, &spec);
+                    let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                    let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        got_bits, expect_bits,
+                        "kind={kind:?} order={order} tuple={tuple} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A non-commutative (but associative) operator — affine-map composition
+/// `(a, b) ∘ (c, d) = (a·c, b·c + d)` packed into u64 halves — exposes any
+/// kernel that reorders operands instead of only reassociating them.
+#[test]
+fn non_commutative_operator_matches_serial() {
+    fn pack(a: u32, b: u32) -> u64 {
+        (u64::from(a) << 32) | u64::from(b)
+    }
+    fn unpack(x: u64) -> (u32, u32) {
+        ((x >> 32) as u32, x as u32)
+    }
+    let compose = FnOp::new(pack(1, 0), |x: u64, y: u64| {
+        let (a1, b1) = unpack(x);
+        let (a2, b2) = unpack(y);
+        pack(a1.wrapping_mul(a2), b1.wrapping_mul(a2).wrapping_add(b2))
+    });
+    let input: Vec<u64> = (0..613u32)
+        .map(|i| pack(i % 7 + 1, i.wrapping_mul(2654435761)))
+        .collect();
+    for kind in KINDS {
+        for order in [1u32, 2, 5] {
+            for tuple in [1usize, 2, 5] {
+                let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+                let expect = serial::scan(&input, &compose, &spec);
+                for workers in [1usize, 3] {
+                    let got = CpuScanner::new(workers)
+                        .with_chunk_elems(53)
+                        .scan(&input, &compose, &spec);
+                    assert_eq!(
+                        got, expect,
+                        "kind={kind:?} order={order} tuple={tuple} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate shapes: empty input, a single element, and inputs shorter
+/// than the tuple stride (every lane has at most one element).
+#[test]
+fn degenerate_inputs_match_serial() {
+    for n in [0usize, 1, 3, 7] {
+        let input = pseudo_random(n, 100 + n as u64);
+        for kind in KINDS {
+            for order in [1u32, 2, 8] {
+                for tuple in [1usize, 2, 8] {
+                    let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+                    let expect = serial::scan(&input, &Sum, &spec);
+                    for workers in [1usize, 3, 8] {
+                        let got = CpuScanner::new(workers)
+                            .with_chunk_elems(2)
+                            .scan(&input, &Sum, &spec);
+                        assert_eq!(
+                            got, expect,
+                            "n={n} kind={kind:?} order={order} tuple={tuple} workers={workers}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScanSpec> {
+    (
+        prop_oneof![Just(ScanKind::Inclusive), Just(ScanKind::Exclusive)],
+        1u32..=8,
+        1usize..=8,
+    )
+        .prop_map(|(kind, order, tuple)| ScanSpec::new(kind, order, tuple).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The allocation-free entry point (`scan_into` with a caller-provided
+    /// output buffer) equals the oracle for arbitrary inputs and geometry.
+    #[test]
+    fn scan_into_matches_oracle(
+        input in prop::collection::vec(any::<i64>(), 0..2500),
+        spec in spec_strategy(),
+        workers in 1usize..9,
+        chunk in 1usize..300,
+    ) {
+        let mut out = vec![0i64; input.len()];
+        CpuScanner::new(workers)
+            .with_chunk_elems(chunk)
+            .scan_into(&input, &mut out, &Sum, &spec);
+        prop_assert_eq!(out, serial::scan(&input, &Sum, &spec));
+    }
+}

@@ -11,7 +11,7 @@ use sam_core::ScanSpec;
 fn traced_run(order: u32) -> (Vec<gpu_sim::Event>, u64) {
     let gpu = Gpu::with_trace(DeviceSpec::k40());
     let n = 100_000;
-    let input: Vec<i32> = (0..n as i32).map(|i| i % 9 - 4).collect();
+    let input: Vec<i32> = (0..n).map(|i| i % 9 - 4).collect();
     let spec = ScanSpec::inclusive().with_order(order).expect("valid order");
     let (out, info) = scan_on_gpu(
         &gpu,

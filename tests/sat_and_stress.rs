@@ -88,7 +88,7 @@ fn deep_pipeline_ring_stress() {
     use sam_core::kernel::AuxMode;
     let gpu = Gpu::new(DeviceSpec::k40());
     let n = 400_000;
-    let input: Vec<i32> = (0..n as i32).map(|i| i % 7 - 3).collect();
+    let input: Vec<i32> = (0..n).map(|i| i % 7 - 3).collect();
     let spec = ScanSpec::inclusive().with_order(8).expect("valid order");
     let params = SamParams {
         items_per_thread: 1,

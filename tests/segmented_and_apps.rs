@@ -81,9 +81,7 @@ fn lexer_token_lengths_via_segmented_scan() {
     // their own one-byte segments).
     let mut heads = vec![true; src.len()];
     for t in &tokens {
-        for i in t.start + 1..t.end {
-            heads[i] = false;
-        }
+        heads[t.start + 1..t.end].fill(false);
     }
     let ones = vec![1i32; src.len()];
     let counts = segmented::scan_parallel(&ones, &heads, &Sum, ScanKind::Inclusive, &scanner);

@@ -1,0 +1,147 @@
+//! Vendored minimal subset of the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! This workspace builds in an offline environment with no registry
+//! access, so the handful of `Buf`/`BufMut` methods the delta codec uses
+//! are reimplemented here with the same semantics as the upstream crate.
+//! Only `&[u8]` (reader) and `Vec<u8>` (writer) are supported.
+
+/// Read access to a contiguous or chunked byte cursor.
+///
+/// Semantics match the upstream `bytes::Buf` for the subset provided:
+/// reads consume the buffer and panic when not enough bytes remain.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The current unread chunk.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Fills `dst` from the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice past end of buffer"
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt);
+    }
+}
+
+/// Write access to a growable byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, b: u8) {
+        (**self).put_u8(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursor_consumes() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur = &data[..];
+        assert_eq!(cur.remaining(), 4);
+        assert_eq!(cur.get_u8(), 1);
+        let mut two = [0u8; 2];
+        cur.copy_to_slice(&mut two);
+        assert_eq!(two, [2, 3]);
+        cur.advance(1);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_slice(&[8, 9]);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "get_u8 on empty buffer")]
+    fn empty_read_panics() {
+        let mut cur: &[u8] = &[];
+        cur.get_u8();
+    }
+}

@@ -1,0 +1,254 @@
+//! Vendored minimal benchmark harness.
+//!
+//! This workspace builds offline with no registry access, so the subset
+//! of the [`criterion`](https://docs.rs/criterion) surface the `benches/`
+//! targets use is reimplemented here: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros.
+//! Bench files written against this crate compile unchanged against real
+//! criterion.
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then `sample_size` timed iterations, and reports the mean
+//! time per iteration (plus derived throughput when configured). There
+//! is no statistical analysis, outlier rejection, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default iteration count per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(&format!("{}", id.into()), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` once untimed, then `iterations` timed repetitions.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iterations > 0 {
+        bencher.elapsed.as_secs_f64() / bencher.iterations as f64
+    } else {
+        0.0
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<50} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::new("f", 4), |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        // Warm-up + timed iterations both ran.
+        assert!(count >= 3);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

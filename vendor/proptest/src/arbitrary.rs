@@ -1,0 +1,101 @@
+//! `any::<T>()` — full-domain generation for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one value over the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// A strategy over the whole domain of `T`, biased toward boundary
+/// values (zero, extremes) one case in eight.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                const EDGES: [$ty; 4] = [0, 1, <$ty>::MIN, <$ty>::MAX];
+                let roll = rng.next_u64();
+                if roll % 8 == 0 {
+                    EDGES[(roll >> 32) as usize % EDGES.len()]
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite floats spanning many magnitudes: mantissa in [-1, 1]
+        // scaled by 2^e for e in [-32, 32).
+        let mantissa = (rng.next_u64() as i64 as f64) / (i64::MAX as f64);
+        let exp = (rng.below(64) as i32 - 32) as f64;
+        (mantissa * exp.exp2()) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = (rng.next_u64() as i64 as f64) / (i64::MAX as f64);
+        let exp = (rng.below(128) as i32 - 64) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_cover_edges_and_bulk() {
+        let mut rng = TestRng::deterministic("arb");
+        let mut zero = false;
+        let mut max = false;
+        let mut other = false;
+        for _ in 0..2000 {
+            match u8::arbitrary(&mut rng) {
+                0 => zero = true,
+                u8::MAX => max = true,
+                _ => other = true,
+            }
+        }
+        assert!(zero && max && other);
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = TestRng::deterministic("float");
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+            assert!(f32::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(any::<i64>(), 2..9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn empty_vectors_possible() {
+        let mut rng = TestRng::deterministic("vec-empty");
+        let s = vec(any::<i32>(), 0..3);
+        assert!((0..200).any(|_| s.generate(&mut rng).is_empty()));
+    }
+}

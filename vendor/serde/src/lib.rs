@@ -1,0 +1,68 @@
+//! Vendored minimal subset of the [`serde`](https://serde.rs) data model.
+//!
+//! This workspace builds offline with no registry access, so the part of
+//! serde it actually exercises — the *serialization* half of the data
+//! model — is reimplemented here with signatures identical to upstream.
+//! Custom `Serializer`s written against this crate (e.g. the value-tree
+//! serializer in `tests/serde_roundtrips.rs`) compile unchanged against
+//! real serde.
+//!
+//! There is no proc-macro `derive`; instead the [`impl_serialize_struct!`]
+//! and [`impl_serialize_unit_enum!`] macros generate the impls a derive
+//! would for the shapes this workspace uses (field structs and field-less
+//! enums). Mixed enums hand-write their impl.
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+/// Implements [`Serialize`] for a field struct, serializing it as a
+/// struct with its field names — the same data-model calls
+/// `#[derive(Serialize)]` emits.
+#[macro_export]
+macro_rules! impl_serialize_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize<S: $crate::Serializer>(
+                &self,
+                serializer: S,
+            ) -> ::core::result::Result<S::Ok, S::Error> {
+                let mut state = serializer.serialize_struct(
+                    ::core::stringify!($ty),
+                    [$(::core::stringify!($field)),+].len(),
+                )?;
+                $(
+                    $crate::ser::SerializeStruct::serialize_field(
+                        &mut state,
+                        ::core::stringify!($field),
+                        &self.$field,
+                    )?;
+                )+
+                $crate::ser::SerializeStruct::end(state)
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] for a field-less (`Copy`) enum, serializing
+/// each variant as a unit variant by name, as a derive would.
+#[macro_export]
+macro_rules! impl_serialize_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn serialize<S: $crate::Serializer>(
+                &self,
+                serializer: S,
+            ) -> ::core::result::Result<S::Ok, S::Error> {
+                let name: &'static str = match self {
+                    $(Self::$variant => ::core::stringify!($variant),)+
+                };
+                serializer.serialize_unit_variant(
+                    ::core::stringify!($ty),
+                    *self as u32,
+                    name,
+                )
+            }
+        }
+    };
+}

@@ -1,0 +1,405 @@
+//! The serialization half of the serde data model.
+//!
+//! Trait shapes (names, associated types, method signatures) match
+//! upstream serde so that serializers written against this vendored
+//! subset are source-compatible with the real crate.
+
+use std::fmt::Display;
+
+/// Errors produced during serialization.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde data format.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the serializer reports.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize the serde data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// State for serializing sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// State for serializing struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the payload of `Option::Some`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct like `struct Unit;`.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant like `E::A`.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct like `struct N(T);`.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant like `E::N(T)`.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a variable-length sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a sequence here.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a fixed-length tuple.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a tuple here.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins serializing a tuple struct like `struct T(A, B);`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a tuple struct here.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins serializing a tuple enum variant like `E::T(A, B)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a tuple variant here.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins serializing a map.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a map here.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins serializing a struct with named fields.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a struct here.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a struct enum variant like `E::S { a, b }`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the format cannot start a struct variant here.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// In-progress sequence serialization.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple serialization.
+pub trait SerializeTuple {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple-struct serialization.
+pub trait SerializeTupleStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress tuple-variant serialization.
+pub trait SerializeTupleVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress map serialization.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the value for the preceding key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress struct serialization.
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// In-progress struct-variant serialization.
+pub trait SerializeStructVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+macro_rules! impl_primitive_serialize {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+impl_primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
