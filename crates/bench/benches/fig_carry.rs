@@ -36,6 +36,7 @@ fn bench_carry(c: &mut Criterion) {
                 items_per_thread: 2,
                 carry,
                 aux: AuxMode::PerChunk,
+                ..SamParams::default()
             };
             g.bench_function(BenchmarkId::new(label, dev_label), |b| {
                 b.iter(|| {

@@ -13,11 +13,14 @@
 //!   --tuples LIST     comma-separated tuples   (default 1,2,5,8)
 //!   --sizes LIST      comma-separated log2 sizes, overrides --full/--quick
 //!   --engines LIST    comma-separated from serial,cpu (default both)
+//!   --min-time SECS   per-point time budget in seconds (default 0.25)
 //! ```
 //!
 //! Each configuration is measured with one warm-up run and repeated until
-//! either three timed repetitions or a time budget is exhausted; the JSON
-//! records the best repetition (`elems_per_sec` = `n / secs_best`).
+//! either three timed repetitions or the per-point time budget is
+//! exhausted; the JSON records the best repetition (`elems_per_sec` =
+//! `n / secs_best`). Raise `--min-time` for low-noise committed numbers,
+//! lower it (e.g. `0.005`) for CI smoke runs.
 
 use sam_core::cpu::CpuScanner;
 use sam_core::op::Sum;
@@ -38,7 +41,7 @@ struct Record {
 
 const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
                      [--orders LIST] [--tuples LIST] [--sizes LIST] \
-                     [--engines serial,cpu]";
+                     [--engines serial,cpu] [--min-time SECS]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -80,6 +83,7 @@ fn main() {
     let mut tuples: Vec<usize> = vec![1, 2, 5, 8];
     let mut engines: Vec<String> = vec!["serial".into(), "cpu".into()];
     let mut log_sizes: Vec<usize> = (10..=24).step_by(2).collect();
+    let mut budget_secs = 0.25f64;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -105,6 +109,15 @@ fn main() {
                     .filter(|s| !s.is_empty())
                     .map(str::to_owned)
                     .collect();
+            }
+            "--min-time" => {
+                let raw = value(&mut i, "--min-time");
+                budget_secs = raw.trim().parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--min-time expects seconds, got {raw:?}"))
+                });
+                if !budget_secs.is_finite() || budget_secs <= 0.0 {
+                    usage_error("--min-time must be a positive number of seconds");
+                }
             }
             other => usage_error(&format!("unknown argument {other}")),
         }
@@ -133,6 +146,10 @@ fn main() {
     }
 
     let max_n = 1usize << log_sizes.iter().copied().max().expect("nonempty sizes");
+    // Repetition cap scales with the budget so a raised --min-time keeps
+    // collecting samples on fast points instead of stopping at the default
+    // cap with budget to spare.
+    let rep_cap = (25.0 * (budget_secs / 0.25)).clamp(3.0, 10_000.0) as u32;
     let input = pseudo_random(max_n);
     let cpu = CpuScanner::default();
     let mut records: Vec<Record> = Vec::new();
@@ -149,15 +166,12 @@ fn main() {
                     .with_tuple(tuple)
                     .expect("valid tuple");
                 for engine in &engines {
-                    // Time budget per configuration scales down as sizes and
-                    // orders grow so the whole sweep stays tractable.
-                    let budget_secs = 0.25;
                     let mut best = f64::INFINITY;
                     let mut reps = 0u32;
                     let mut spent = 0.0;
                     // One untimed warm-up (page faults, branch history).
                     run_once(engine, data, &mut out, &cpu, &spec);
-                    while reps < 3 || (spent < budget_secs && reps < 25) {
+                    while reps < 3 || (spent < budget_secs && reps < rep_cap) {
                         let t = Instant::now();
                         run_once(engine, data, &mut out, &cpu, &spec);
                         let secs = t.elapsed().as_secs_f64();

@@ -1,0 +1,328 @@
+//! The single-pass higher-order carry algebra (Section 2.4 generalized).
+//!
+//! An order-`q` scan of one lane is computed by a *cascade* of `q` running
+//! accumulators: per element `x`,
+//!
+//! ```text
+//! a_1 += x;  a_2 += a_1;  ...;  a_q += a_{q-1};   output = a_q
+//! ```
+//!
+//! After sweeping a prefix of the lane, `a_i` equals the order-`i` inclusive
+//! total of that prefix — so one sweep simultaneously yields the output
+//! *and* all `q` per-order local sums that the multi-pass protocol published
+//! one order at a time.
+//!
+//! The cross-chunk composition rule comes from linearity: appending `D`
+//! *zero* elements to a prefix advances the state vector by a
+//! lower-triangular Toeplitz matrix of binomial coefficients,
+//!
+//! ```text
+//! a'_i = sum_{i' <= i} C(D + (i - i') - 1, i - i') * a_{i'}
+//! ```
+//!
+//! (`C(D - 1, 0) = 1` on the diagonal; see DESIGN.md §"Single-pass
+//! higher-order carry algebra" for the derivation). A chunk's seed state is
+//! therefore one weighted combination of its predecessors' published state
+//! vectors — a *single* carry round instead of `q` — where the weight of a
+//! predecessor at lane-distance `D` is the vector
+//! `w_d(D) = C(D + d - 1, d)`, `d = 0..q-1`.
+//!
+//! Everything here is exact arithmetic in `Z/2^64` (and, truncated, in any
+//! narrower two's-complement ring): binomial coefficients are computed
+//! modulo `2^64` by splitting numerator and denominator into powers of two
+//! and odd parts, inverting the odd denominator with a Newton iteration.
+//! That exactness is why the fast path is gated on
+//! [`ScanElement::EXACT_MUL`](crate::element::ScanElement::EXACT_MUL):
+//! wrapping integer sums form the ring the algebra needs, floats do not.
+
+use crate::chunk_kernel::ChunkKernel;
+
+/// Multiplicative inverse of an odd `a` modulo `2^64`.
+///
+/// Newton iteration `x <- x * (2 - a * x)` doubles the number of correct
+/// low-order bits per step; starting from `x = a` (correct modulo 8, since
+/// `a * a ≡ 1 (mod 8)` for odd `a`), five steps reach 128 > 64 bits.
+fn inv_odd_mod_2_64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1, "only odd residues are invertible mod 2^64");
+    let mut x = a;
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// The binomial coefficient `C(m, d)` reduced modulo `2^64`.
+///
+/// `m` may be astronomically large (it is a lane-element distance), so the
+/// product formula `C(m, d) = prod_{t=1..d} (m - d + t) / t` is evaluated
+/// with the powers of two of numerator and denominator tracked separately:
+/// the odd parts multiply (and invert) exactly in `Z/2^64`, and the net
+/// power of two — always non-negative, since the binomial is an integer —
+/// shifts the result (to zero, if it reaches 64).
+pub fn binomial_mod_2_64(m: u128, d: u32) -> u64 {
+    if m < u128::from(d) {
+        return 0;
+    }
+    let mut twos: i64 = 0;
+    let mut num_odd: u64 = 1;
+    let mut den_odd: u64 = 1;
+    for t in 1..=u128::from(d) {
+        let f = m - u128::from(d) + t;
+        let v = f.trailing_zeros();
+        twos += i64::from(v);
+        // Truncating the odd part to 64 bits preserves it modulo 2^64 and
+        // keeps it odd.
+        num_odd = num_odd.wrapping_mul((f >> v) as u64);
+        let v = t.trailing_zeros();
+        twos -= i64::from(v);
+        den_odd = den_odd.wrapping_mul((t >> v) as u64);
+    }
+    debug_assert!(twos >= 0, "binomial coefficients are integers");
+    if twos >= 64 {
+        return 0;
+    }
+    num_odd.wrapping_mul(inv_odd_mod_2_64(den_odd)) << twos
+}
+
+/// The weight vector of the state-advance matrix for lane-distance `dist`:
+/// `w[d] = C(dist + d - 1, d)` for `d = 0..q`, modulo `2^64`.
+///
+/// `w[0] = 1` always (the matrix is unitriangular); `dist = 0` yields the
+/// identity (`w[d] = C(d - 1, d) = 0` for `d > 0`).
+pub fn advance_weights(dist: u64, q: usize) -> Vec<u64> {
+    (0..q)
+        .map(|d| {
+            if d == 0 {
+                1 // C(m, 0) = 1, covering dist = 0 without underflow.
+            } else {
+                binomial_mod_2_64(u128::from(dist) + d as u128 - 1, d as u32)
+            }
+        })
+        .collect()
+}
+
+/// Precomputed carry weights for the single-pass protocols: the advance
+/// matrices for lane-distances `j * lane_elems`, `j = 0..max_steps`, with
+/// the `u64` weights already materialized as operator elements.
+///
+/// `lane_elems` is the per-lane element count of one full chunk
+/// (`chunk_elems / s`, requiring `chunk_elems % s == 0` so every
+/// chunk-to-chunk distance is a uniform multiple). A worker at chunk `c`
+/// seeds its state as
+///
+/// ```text
+/// state = M_{k-1} * end_state(c - k)            // own previous chunk
+///       + sum_{p = c-k+1}^{c-1} M_{c-1-p} * T_p // published local sums
+/// ```
+///
+/// so exactly the matrices `M_0..M_{k-1}` are needed (`M_0` = identity).
+pub struct CarryPlan<T> {
+    q: usize,
+    /// `weights[j][d]`: row-offset-`d` weight of the distance-`j * L`
+    /// matrix, as an element value.
+    weights: Vec<Vec<T>>,
+}
+
+impl<T: Copy> CarryPlan<T> {
+    /// Builds the plan for order `q`, per-chunk lane length `lane_elems`,
+    /// and `max_steps` distinct chunk distances (the worker/block count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator does not support the cascade algebra.
+    pub fn new<Op: ChunkKernel<T>>(op: &Op, q: usize, lane_elems: u64, max_steps: usize) -> Self {
+        assert!(
+            op.supports_cascade(),
+            "carry plans require a cascade-capable operator"
+        );
+        let weights = (0..max_steps)
+            .map(|j| {
+                advance_weights(lane_elems * j as u64, q)
+                    .into_iter()
+                    .map(|w| op.carry_weight(w))
+                    .collect()
+            })
+            .collect();
+        CarryPlan { q, weights }
+    }
+
+    /// Advances `state` (layout `q x s`, `state[i * s + lane]`) in place by
+    /// `steps` full chunks of zeros: `state <- M_steps * state`, per lane.
+    ///
+    /// Iterating rows top-coefficient-down lets the update run in place:
+    /// row `i` reads only rows `i' <= i`, and the unitriangular diagonal
+    /// (`w[0] = 1`) leaves the just-written rows out of later reads.
+    pub fn advance<Op: ChunkKernel<T>>(&self, op: &Op, steps: usize, state: &mut [T], s: usize) {
+        if steps == 0 {
+            return;
+        }
+        let w = &self.weights[steps];
+        for i in (0..self.q).rev() {
+            for l in 0..s {
+                let mut acc = state[i * s + l]; // w[0] = 1
+                for i2 in 0..i {
+                    acc = op.combine(acc, op.weight_apply(state[i2 * s + l], w[i - i2]));
+                }
+                state[i * s + l] = acc;
+            }
+        }
+    }
+
+    /// Folds a predecessor's published state vector `totals` at chunk
+    /// distance `steps` into `state`: `state += M_steps * totals`, per lane.
+    pub fn fold<Op: ChunkKernel<T>>(
+        &self,
+        op: &Op,
+        steps: usize,
+        totals: &[T],
+        state: &mut [T],
+        s: usize,
+    ) {
+        let w = &self.weights[steps];
+        for i in 0..self.q {
+            for l in 0..s {
+                let mut acc = state[i * s + l];
+                for i2 in 0..=i {
+                    acc = op.combine(acc, op.weight_apply(totals[i2 * s + l], w[i - i2]));
+                }
+                state[i * s + l] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScanSpec;
+    use crate::op::Sum;
+
+    /// Exact small binomials against a Pascal's-triangle oracle.
+    #[test]
+    fn small_binomials_match_pascal() {
+        let mut row = vec![1u128];
+        for m in 0..40u32 {
+            for (d, &v) in row.iter().enumerate() {
+                assert_eq!(
+                    binomial_mod_2_64(u128::from(m), d as u32),
+                    (v % (1u128 << 64)) as u64,
+                    "C({m}, {d})"
+                );
+            }
+            let mut next = vec![1u128];
+            for w in row.windows(2) {
+                next.push(w[0] + w[1]);
+            }
+            next.push(1);
+            row = next;
+        }
+    }
+
+    #[test]
+    fn out_of_range_binomials_are_zero() {
+        assert_eq!(binomial_mod_2_64(3, 5), 0);
+        assert_eq!(binomial_mod_2_64(0, 1), 0);
+        assert_eq!(binomial_mod_2_64(0, 0), 1);
+    }
+
+    /// `C(2^68, 2)` = 2^67 * (2^68 - 1): 67 net twos < 64? No — 67 >= 64,
+    /// so the reduction is zero. `C(2^6, 2)` = 32 * 63 = 2016 stays exact.
+    #[test]
+    fn large_arguments_reduce_mod_2_64() {
+        assert_eq!(binomial_mod_2_64(1u128 << 68, 2), 0);
+        assert_eq!(binomial_mod_2_64(64, 2), 2016);
+        // C(2^64 + 2, 2) = (2^64 + 2)(2^64 + 1)/2 = (2^63 + 1)(2^64 + 1)
+        //               ≡ (2^63 + 1) * 1 ≡ 2^63 + 1 (mod 2^64).
+        assert_eq!(binomial_mod_2_64((1u128 << 64) + 2, 2), (1u64 << 63) + 1);
+    }
+
+    #[test]
+    fn odd_inverse_is_exact() {
+        for a in [1u64, 3, 5, 0xdead_beef_dead_beef, u64::MAX] {
+            assert_eq!(a.wrapping_mul(inv_odd_mod_2_64(a)), 1, "a = {a}");
+        }
+    }
+
+    /// The defining property of the advance weights: appending `dist` zeros
+    /// to a lane and re-scanning equals multiplying the state vector by the
+    /// weight matrix.
+    #[test]
+    fn advance_weights_match_zero_padded_rescan() {
+        for q in [1usize, 2, 3, 5, 8] {
+            for dist in [0usize, 1, 2, 7, 100] {
+                let input: Vec<u64> = (0..13).map(|i| (i * i * 977 + 3) as u64).collect();
+                // State after a prefix = last element of each order's
+                // iterated scan of that prefix.
+                let mut padded = input.clone();
+                padded.resize(input.len() + dist, 0);
+                let state_of = |data: &[u64]| -> Vec<u64> {
+                    let mut cur = data.to_vec();
+                    (0..q)
+                        .map(|_| {
+                            crate::serial::scan_in_place(
+                                &mut cur,
+                                &Sum,
+                                &ScanSpec::inclusive(),
+                            );
+                            *cur.last().unwrap()
+                        })
+                        .collect()
+                };
+                let base_state = state_of(&input);
+                let padded_state = state_of(&padded);
+                let w = advance_weights(dist as u64, q);
+                assert_eq!(w[0], 1);
+                for i in 0..q {
+                    let mut acc = 0u64;
+                    for i2 in 0..=i {
+                        acc = acc.wrapping_add(base_state[i2].wrapping_mul(w[i - i2]));
+                    }
+                    assert_eq!(acc, padded_state[i], "q={q} dist={dist} row={i}");
+                }
+            }
+        }
+    }
+
+    /// Advance matrices form a semigroup: M_a then M_b equals M_{a+b}.
+    #[test]
+    fn advance_is_a_semigroup() {
+        let op = Sum;
+        let q = 5;
+        let plan = CarryPlan::<u64>::new(&op, q, 3, 8); // distances 0,3,6,...,21
+        let mk = || -> Vec<u64> { (0..q as u64).map(|i| i * 71 + 1).collect() };
+        let mut ab = mk();
+        plan.advance(&op, 2, &mut ab, 1); // +6
+        plan.advance(&op, 3, &mut ab, 1); // +9
+        let mut once = mk();
+        plan.advance(&op, 5, &mut once, 1); // +15
+        assert_eq!(ab, once);
+        // Distance 0 is the identity.
+        let mut id = mk();
+        plan.advance(&op, 0, &mut id, 1);
+        assert_eq!(id, mk());
+    }
+
+    /// `fold` is `state + M * totals`, checked against an explicit
+    /// advance-then-add on a zero state.
+    #[test]
+    fn fold_matches_advance_of_totals() {
+        let op = Sum;
+        let q = 4;
+        let s = 3;
+        let plan = CarryPlan::<u32>::new(&op, q, 5, 4);
+        let totals: Vec<u32> = (0..(q * s) as u32).map(|i| i * 37 + 11).collect();
+        let base: Vec<u32> = (0..(q * s) as u32).map(|i| i * 5 + 1).collect();
+
+        let mut folded = base.clone();
+        plan.fold(&op, 2, &totals, &mut folded, s);
+
+        let mut advanced = totals.clone();
+        plan.advance(&op, 2, &mut advanced, s);
+        let expect: Vec<u32> = base
+            .iter()
+            .zip(&advanced)
+            .map(|(&b, &a)| b.wrapping_add(a))
+            .collect();
+        assert_eq!(folded, expect);
+    }
+}

@@ -22,9 +22,17 @@
 //! | operator | element | stride | kernel |
 //! |---|---|---|---|
 //! | `Sum` | ints (`EXACT_ASSOC`) | 1 | blocked multi-accumulator, vectorizable; non-temporal stores on x86-64 for ≥ 8 MiB outputs |
+//! | `Sum` | ints (`EXACT_ASSOC`) | 2..=64 | **vertical lane-parallel**: `s` accumulators advance together in row form, no per-element lane rotation, LLVM-vectorizable |
 //! | `Sum` | floats | 1 | fused sequential accumulator (serial association) |
 //! | any  | any | 1 | fused sequential accumulator |
 //! | any  | any | s > 1 | in-buffer recurrence, rotating lane index |
+//!
+//! The `cascade_*` methods add the **single-pass order-`q`** kernels (a
+//! length-`q` state vector per lane, advanced once per element — see
+//! [`crate::carry`]): `Sum` dispatches stride-1 cascades to const-generic
+//! register kernels for `q <= 8` and strided cascades to the vertical row
+//! form; the rotating-lane defaults cover every other case. Cascade use is
+//! gated on [`ChunkKernel::supports_cascade`] (wrapping-integer sums only).
 //!
 //! # Determinism contract
 //!
@@ -213,6 +221,102 @@ pub trait ChunkKernel<T: Copy>: ScanOp<T> {
         }
     }
 
+    // --- Single-pass higher-order cascade (the carry algebra) --------------
+
+    /// Whether this operator supports the order-`q` *cascade* kernels and
+    /// the binomial carry algebra of [`crate::carry`].
+    ///
+    /// Requires the operator to be an exactly-associative, commutative
+    /// monoid whose `w`-fold self-combination is expressible as a
+    /// multiplication by a materialized weight ([`ChunkKernel::carry_weight`]
+    /// / [`ChunkKernel::weight_apply`]) — in practice, wrapping-integer
+    /// addition. Engines must check this before calling any `cascade_*`
+    /// method with a non-trivial seed; generic operators keep the
+    /// multi-pass path.
+    fn supports_cascade(&self) -> bool {
+        false
+    }
+
+    /// Materializes a `u64` carry weight (a binomial coefficient mod
+    /// `2^64`) as an element value, truncating to the element width.
+    ///
+    /// Only meaningful when [`ChunkKernel::supports_cascade`] is true.
+    fn carry_weight(&self, _w: u64) -> T {
+        unimplemented!("carry weights require a cascade-capable operator")
+    }
+
+    /// The `w`-fold self-combination of `v`, where `w` came from
+    /// [`ChunkKernel::carry_weight`]: for wrapping-integer sums, `v * w`.
+    fn weight_apply(&self, _v: T, _w: T) -> T {
+        unimplemented!("carry weights require a cascade-capable operator")
+    }
+
+    /// Order-`q` strided cascade of `src` into `dst` in **one sweep**,
+    /// seeded by and updating `state`.
+    ///
+    /// `state` has layout `q x s` (`state[i * s + lane]`, `q` inferred as
+    /// `state.len() / s`): entry `(i, l)` is the order-`(i+1)` inclusive
+    /// total of every lane-`l` element before this span. Per element the
+    /// cascade advances its lane's column (`a_1 += x; a_2 += a_1; ...`) and
+    /// emits `a_q` — or, for `exclusive`, the pre-update `a_q`, which is the
+    /// order-`q` total of the lane's *earlier* elements. A zero-seeded
+    /// (all-identity) cascade over the whole input therefore equals the
+    /// iterated `q`-pass scan, and the final `state` holds the per-order,
+    /// per-lane local sums the single-pass protocol publishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero, the slices differ in length, or `state.len()`
+    /// is not a positive multiple of `s`.
+    fn cascade_scan_from(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        check_fused(src.len(), dst.len(), s);
+        check_cascade_state(state.len(), s);
+        cascade_from_generic(self, src, dst, base, s, state, exclusive);
+    }
+
+    /// In-place form of [`ChunkKernel::cascade_scan_from`]: `data` is read
+    /// as input and overwritten with the cascade outputs position by
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or `state.len()` is not a positive multiple of
+    /// `s`.
+    fn cascade_scan_in_place(
+        &self,
+        data: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        assert!(s > 0, "stride must be positive");
+        check_cascade_state(state.len(), s);
+        cascade_in_place_generic(self, data, base, s, state, exclusive);
+    }
+
+    /// Totals-only cascade: advances `state` over `src` without writing any
+    /// outputs — the single-pass protocol's first sweep, which publishes all
+    /// `q x s` local sums from one read of the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or `state.len()` is not a positive multiple of
+    /// `s`.
+    fn cascade_totals(&self, src: &[T], base: usize, s: usize, state: &mut [T]) {
+        assert!(s > 0, "stride must be positive");
+        check_cascade_state(state.len(), s);
+        cascade_totals_generic(self, src, base, s, state);
+    }
+
     /// Rewrites a *pre-carry* inclusively-scanned chunk into its exclusive
     /// outputs, in place: position `j` receives
     /// `op(carry[lane(j)], scanned[j - s])`, or the lane's carry alone for
@@ -264,6 +368,94 @@ fn collect_totals<T: Copy, Op: ScanOp<T> + ?Sized>(
     let n = chunk.len();
     for j in n.saturating_sub(s)..n {
         totals[(base + j) % s] = chunk[j];
+    }
+}
+
+/// Validates a cascade state buffer: a positive multiple of `s`.
+fn check_cascade_state(state_len: usize, s: usize) {
+    assert!(
+        state_len > 0 && state_len.is_multiple_of(s),
+        "cascade state must be a positive q x s matrix ({state_len} % {s})"
+    );
+}
+
+/// Generic rotating-lane cascade, reading `src` and writing `dst`.
+///
+/// Association per lane column is `a_i = op(a_i, a_{i-1})` — accumulated
+/// prefix first, exactly the association of the iterated in-place passes it
+/// replaces. Correct for any associative operator; bit-exactness of the
+/// zero seed additionally needs a true identity (the
+/// [`ChunkKernel::supports_cascade`] gate).
+fn cascade_from_generic<T: Copy, Op: ScanOp<T> + ?Sized>(
+    op: &Op,
+    src: &[T],
+    dst: &mut [T],
+    base: usize,
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = state.len() / s;
+    let mut lane = base % s;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        let prev_top = state[(q - 1) * s + lane];
+        state[lane] = op.combine(state[lane], x);
+        for i in 1..q {
+            state[i * s + lane] = op.combine(state[i * s + lane], state[(i - 1) * s + lane]);
+        }
+        *d = if exclusive { prev_top } else { state[(q - 1) * s + lane] };
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
+    }
+}
+
+/// Generic rotating-lane cascade, in place.
+fn cascade_in_place_generic<T: Copy, Op: ScanOp<T> + ?Sized>(
+    op: &Op,
+    data: &mut [T],
+    base: usize,
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = state.len() / s;
+    let mut lane = base % s;
+    for v in data.iter_mut() {
+        let x = *v;
+        let prev_top = state[(q - 1) * s + lane];
+        state[lane] = op.combine(state[lane], x);
+        for i in 1..q {
+            state[i * s + lane] = op.combine(state[i * s + lane], state[(i - 1) * s + lane]);
+        }
+        *v = if exclusive { prev_top } else { state[(q - 1) * s + lane] };
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
+    }
+}
+
+/// Generic rotating-lane totals-only cascade.
+fn cascade_totals_generic<T: Copy, Op: ScanOp<T> + ?Sized>(
+    op: &Op,
+    src: &[T],
+    base: usize,
+    s: usize,
+    state: &mut [T],
+) {
+    let q = state.len() / s;
+    let mut lane = base % s;
+    for &x in src {
+        state[lane] = op.combine(state[lane], x);
+        for i in 1..q {
+            state[i * s + lane] = op.combine(state[i * s + lane], state[(i - 1) * s + lane]);
+        }
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
     }
 }
 
@@ -397,6 +589,235 @@ fn sum_blocks_from_nt<T: ScanElement>(src: &[T], dst: &mut [T], mut carry: T) ->
     carry
 }
 
+// --- Sum: cascade and lane-parallel (vertical) tuple kernels ---------------
+
+/// Maximum tuple size the vertical stride-`s` sum kernels cover with a
+/// stack-allocated accumulator row; larger strides take the generic
+/// in-buffer recurrence (they are past the width any SIMD unit exploits
+/// anyway). Exposed because the [`crate::scanner`] auto-crossover model
+/// keys off the same vectorized/non-vectorized boundary.
+pub const VERTICAL_LANES_MAX: usize = 64;
+
+/// Stride-1 order-`Q` cascade with the state held in `Q` registers: per
+/// element, `Q` dependent adds — but the chains of *successive elements*
+/// overlap (level `i` of element `j + 1` only needs level `i` of element
+/// `j`), so an out-of-order core sustains ~1 element per `Q`/issue-width
+/// cycles rather than the naive `Q`-cycle latency chain.
+#[inline]
+fn sum_cascade1_from<T: ScanElement, const Q: usize>(
+    src: &[T],
+    dst: &mut [T],
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let mut a = [T::ZERO; Q];
+    a.copy_from_slice(&state[..Q]);
+    if exclusive {
+        for (d, &x) in dst.iter_mut().zip(src) {
+            let out = a[Q - 1];
+            a[0] = a[0].add(x);
+            for i in 1..Q {
+                a[i] = a[i].add(a[i - 1]);
+            }
+            *d = out;
+        }
+    } else {
+        for (d, &x) in dst.iter_mut().zip(src) {
+            a[0] = a[0].add(x);
+            for i in 1..Q {
+                a[i] = a[i].add(a[i - 1]);
+            }
+            *d = a[Q - 1];
+        }
+    }
+    state[..Q].copy_from_slice(&a);
+}
+
+/// In-place form of [`sum_cascade1_from`].
+#[inline]
+fn sum_cascade1_in_place<T: ScanElement, const Q: usize>(
+    data: &mut [T],
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let mut a = [T::ZERO; Q];
+    a.copy_from_slice(&state[..Q]);
+    if exclusive {
+        for v in data.iter_mut() {
+            let x = *v;
+            let out = a[Q - 1];
+            a[0] = a[0].add(x);
+            for i in 1..Q {
+                a[i] = a[i].add(a[i - 1]);
+            }
+            *v = out;
+        }
+    } else {
+        for v in data.iter_mut() {
+            let x = *v;
+            a[0] = a[0].add(x);
+            for i in 1..Q {
+                a[i] = a[i].add(a[i - 1]);
+            }
+            *v = a[Q - 1];
+        }
+    }
+    state[..Q].copy_from_slice(&a);
+}
+
+/// Totals-only form of [`sum_cascade1_from`] (no output writes): the
+/// single-pass protocol's publish sweep.
+#[inline]
+fn sum_cascade1_totals<T: ScanElement, const Q: usize>(src: &[T], state: &mut [T]) {
+    let mut a = [T::ZERO; Q];
+    a.copy_from_slice(&state[..Q]);
+    for &x in src {
+        a[0] = a[0].add(x);
+        for i in 1..Q {
+            a[i] = a[i].add(a[i - 1]);
+        }
+    }
+    state[..Q].copy_from_slice(&a);
+}
+
+/// Vertical stride-`s` cascade: all `s` lanes advance together, one state
+/// *row* per cascade level, so every inner loop is a contiguous
+/// element-wise add over `s`-element rows — no per-element lane rotation,
+/// and LLVM vectorizes each row operation (the SIMD mapping of Zhang,
+/// Wang & Ross for strided scans, composed with the order-`q` state).
+///
+/// Requires `base % s == 0` so position `j` of the span is lane `j % s`.
+/// The tail (`len % s` elements) is a final partial row.
+fn sum_cascade_vertical_from<T: ScanElement>(
+    src: &[T],
+    dst: &mut [T],
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = state.len() / s;
+    let top = (q - 1) * s;
+    let mut off = 0;
+    while off + s <= src.len() {
+        if exclusive {
+            dst[off..off + s].copy_from_slice(&state[top..]);
+        }
+        for l in 0..s {
+            state[l] = state[l].add(src[off + l]);
+        }
+        for i in 1..q {
+            let (prev, cur) = state.split_at_mut(i * s);
+            let prev = &prev[(i - 1) * s..];
+            for l in 0..s {
+                cur[l] = cur[l].add(prev[l]);
+            }
+        }
+        if !exclusive {
+            dst[off..off + s].copy_from_slice(&state[top..]);
+        }
+        off += s;
+    }
+    // Partial final row: lane l = position offset, still aligned.
+    for (l, (&x, d)) in src[off..].iter().zip(&mut dst[off..]).enumerate() {
+        let out_prev = state[top + l];
+        state[l] = state[l].add(x);
+        for i in 1..q {
+            state[i * s + l] = state[i * s + l].add(state[(i - 1) * s + l]);
+        }
+        *d = if exclusive { out_prev } else { state[top + l] };
+    }
+}
+
+/// In-place form of [`sum_cascade_vertical_from`]: each row's input is
+/// consumed before its position is overwritten.
+fn sum_cascade_vertical_in_place<T: ScanElement>(
+    data: &mut [T],
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = state.len() / s;
+    let top = (q - 1) * s;
+    let mut off = 0;
+    while off + s <= data.len() {
+        if exclusive {
+            for l in 0..s {
+                let x = data[off + l];
+                data[off + l] = state[top + l];
+                state[l] = state[l].add(x);
+            }
+        } else {
+            for l in 0..s {
+                state[l] = state[l].add(data[off + l]);
+            }
+        }
+        for i in 1..q {
+            let (prev, cur) = state.split_at_mut(i * s);
+            let prev = &prev[(i - 1) * s..];
+            for l in 0..s {
+                cur[l] = cur[l].add(prev[l]);
+            }
+        }
+        if !exclusive {
+            data[off..off + s].copy_from_slice(&state[top..]);
+        }
+        off += s;
+    }
+    for (l, v) in data[off..].iter_mut().enumerate() {
+        let x = *v;
+        let out_prev = state[top + l];
+        state[l] = state[l].add(x);
+        for i in 1..q {
+            state[i * s + l] = state[i * s + l].add(state[(i - 1) * s + l]);
+        }
+        *v = if exclusive { out_prev } else { state[top + l] };
+    }
+}
+
+/// Totals-only form of [`sum_cascade_vertical_from`].
+fn sum_cascade_vertical_totals<T: ScanElement>(src: &[T], s: usize, state: &mut [T]) {
+    let q = state.len() / s;
+    let mut off = 0;
+    while off + s <= src.len() {
+        for l in 0..s {
+            state[l] = state[l].add(src[off + l]);
+        }
+        for i in 1..q {
+            let (prev, cur) = state.split_at_mut(i * s);
+            let prev = &prev[(i - 1) * s..];
+            for l in 0..s {
+                cur[l] = cur[l].add(prev[l]);
+            }
+        }
+        off += s;
+    }
+    for (l, &x) in src[off..].iter().enumerate() {
+        state[l] = state[l].add(x);
+        for i in 1..q {
+            state[i * s + l] = state[i * s + l].add(state[(i - 1) * s + l]);
+        }
+    }
+}
+
+/// Dispatches a stride-1 sum cascade to the const-order register kernel.
+/// Orders past 8 (beyond the paper's evaluation grid) fall back to the
+/// generic rotating kernel.
+macro_rules! sum_cascade1_dispatch {
+    ($q:expr, $kernel:ident ( $($args:expr),* ), $fallback:expr) => {
+        match $q {
+            1 => $kernel::<T, 1>($($args),*),
+            2 => $kernel::<T, 2>($($args),*),
+            3 => $kernel::<T, 3>($($args),*),
+            4 => $kernel::<T, 4>($($args),*),
+            5 => $kernel::<T, 5>($($args),*),
+            6 => $kernel::<T, 6>($($args),*),
+            7 => $kernel::<T, 7>($($args),*),
+            8 => $kernel::<T, 8>($($args),*),
+            _ => $fallback,
+        }
+    };
+}
+
 impl<T: ScanElement> ChunkKernel<T> for Sum {
     fn inclusive_from_stride1(&self, src: &[T], dst: &mut [T]) {
         if T::EXACT_ASSOC {
@@ -413,6 +834,27 @@ impl<T: ScanElement> ChunkKernel<T> for Sum {
         for (d, &v) in dst[1..].iter_mut().zip(rest) {
             acc = acc.add(v);
             *d = acc;
+        }
+    }
+
+    fn inclusive_from(&self, src: &[T], dst: &mut [T], s: usize) {
+        check_fused(src.len(), dst.len(), s);
+        if s == 1 {
+            self.inclusive_from_stride1(src, dst);
+            return;
+        }
+        if T::EXACT_ASSOC && s <= VERTICAL_LANES_MAX {
+            // Lane-parallel vertical form: s accumulators advance together,
+            // exact for wrapping integers (ZERO is a true identity).
+            let mut state = [T::ZERO; VERTICAL_LANES_MAX];
+            sum_cascade_vertical_from(src, dst, s, &mut state[..s], false);
+            return;
+        }
+        let n = src.len();
+        let head = s.min(n);
+        dst[..head].copy_from_slice(&src[..head]);
+        for j in s..n {
+            dst[j] = dst[j - s].add(src[j]);
         }
     }
 
@@ -433,6 +875,11 @@ impl<T: ScanElement> ChunkKernel<T> for Sum {
             }
             return;
         }
+        if T::EXACT_ASSOC && s <= VERTICAL_LANES_MAX {
+            let mut state = [T::ZERO; VERTICAL_LANES_MAX];
+            sum_cascade_vertical_in_place(data, s, &mut state[..s], false);
+            return;
+        }
         for j in s..data.len() {
             data[j] = data[j - s].add(data[j]);
         }
@@ -451,11 +898,121 @@ impl<T: ScanElement> ChunkKernel<T> for Sum {
             sum_blocks_from(&src[..n - 1], &mut dst[1..], T::ZERO);
             return;
         }
+        if s > 1 && T::EXACT_ASSOC && s <= VERTICAL_LANES_MAX {
+            let mut state = [T::ZERO; VERTICAL_LANES_MAX];
+            sum_cascade_vertical_from(src, dst, s, &mut state[..s], true);
+            return;
+        }
         for d in &mut dst[..s.min(n)] {
             *d = T::ZERO;
         }
         for j in s..n {
             dst[j] = dst[j - s].add(src[j - s]);
+        }
+    }
+
+    fn exclusive_in_place(&self, data: &mut [T], s: usize) {
+        assert!(s > 0, "stride must be positive");
+        if T::EXACT_ASSOC && s > 1 && s <= VERTICAL_LANES_MAX {
+            let mut state = [T::ZERO; VERTICAL_LANES_MAX];
+            sum_cascade_vertical_in_place(data, s, &mut state[..s], true);
+            return;
+        }
+        // Reference per-lane walk (the default association).
+        let n = data.len();
+        for lane in 0..s.min(n) {
+            let mut acc = T::ZERO;
+            let mut i = lane;
+            while i < n {
+                let v = data[i];
+                data[i] = acc;
+                acc = acc.add(v);
+                i += s;
+            }
+        }
+    }
+
+    fn supports_cascade(&self) -> bool {
+        T::EXACT_ASSOC && T::EXACT_MUL
+    }
+
+    fn carry_weight(&self, w: u64) -> T {
+        T::from_u64_wrapping(w)
+    }
+
+    fn weight_apply(&self, v: T, w: T) -> T {
+        v.mul(w)
+    }
+
+    fn cascade_scan_from(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        check_fused(src.len(), dst.len(), s);
+        check_cascade_state(state.len(), s);
+        let q = state.len() / s;
+        if !T::EXACT_ASSOC {
+            cascade_from_generic(self, src, dst, base, s, state, exclusive);
+        } else if s == 1 {
+            sum_cascade1_dispatch!(
+                q,
+                sum_cascade1_from(src, dst, state, exclusive),
+                cascade_from_generic(self, src, dst, base, 1, state, exclusive)
+            );
+        } else if base.is_multiple_of(s) {
+            sum_cascade_vertical_from(src, dst, s, state, exclusive);
+        } else {
+            cascade_from_generic(self, src, dst, base, s, state, exclusive);
+        }
+    }
+
+    fn cascade_scan_in_place(
+        &self,
+        data: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        assert!(s > 0, "stride must be positive");
+        check_cascade_state(state.len(), s);
+        let q = state.len() / s;
+        if !T::EXACT_ASSOC {
+            cascade_in_place_generic(self, data, base, s, state, exclusive);
+        } else if s == 1 {
+            sum_cascade1_dispatch!(
+                q,
+                sum_cascade1_in_place(data, state, exclusive),
+                cascade_in_place_generic(self, data, base, 1, state, exclusive)
+            );
+        } else if base.is_multiple_of(s) {
+            sum_cascade_vertical_in_place(data, s, state, exclusive);
+        } else {
+            cascade_in_place_generic(self, data, base, s, state, exclusive);
+        }
+    }
+
+    fn cascade_totals(&self, src: &[T], base: usize, s: usize, state: &mut [T]) {
+        assert!(s > 0, "stride must be positive");
+        check_cascade_state(state.len(), s);
+        let q = state.len() / s;
+        if !T::EXACT_ASSOC {
+            cascade_totals_generic(self, src, base, s, state);
+        } else if s == 1 {
+            sum_cascade1_dispatch!(
+                q,
+                sum_cascade1_totals(src, state),
+                cascade_totals_generic(self, src, base, 1, state)
+            );
+        } else if base.is_multiple_of(s) {
+            sum_cascade_vertical_totals(src, s, state);
+        } else {
+            cascade_totals_generic(self, src, base, s, state);
         }
     }
 }
@@ -691,6 +1248,140 @@ mod tests {
         let mut exc = vec![0i64; n];
         Sum.exclusive_from(&input, &mut exc, 1);
         assert_eq!(exc, exc_expect);
+    }
+
+    /// Iterated q-pass oracle for the cascade kernels (the spec they must
+    /// match bit-for-bit).
+    fn iterated_oracle<T: ScanElement>(input: &[T], q: usize, s: usize, exclusive: bool) -> Vec<T> {
+        let mut data = input.to_vec();
+        for iter in 0..q {
+            if iter + 1 == q && exclusive {
+                serial::exclusive_strided_in_place(&mut data, &Sum, s);
+            } else {
+                serial::inclusive_strided_in_place(&mut data, &Sum, s);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn cascade_matches_iterated_oracle() {
+        for n in [0usize, 1, 7, 16, 100, 1000] {
+            for q in [1usize, 2, 3, 5, 8, 11] {
+                for s in [1usize, 2, 5, 8] {
+                    for exclusive in [false, true] {
+                        let input = pseudo_random(n, (n + 31 * q + s) as u64);
+                        let expect = iterated_oracle(&input, q, s, exclusive);
+
+                        let mut dst = vec![0i64; n];
+                        let mut state = vec![0i64; q * s];
+                        Sum.cascade_scan_from(&input, &mut dst, 0, s, &mut state, exclusive);
+                        assert_eq!(dst, expect, "from n={n} q={q} s={s} exc={exclusive}");
+
+                        let mut in_place = input.clone();
+                        let mut state2 = vec![0i64; q * s];
+                        Sum.cascade_scan_in_place(&mut in_place, 0, s, &mut state2, exclusive);
+                        assert_eq!(in_place, expect, "in-place n={n} q={q} s={s}");
+                        assert_eq!(state, state2);
+
+                        // Totals-only sweep advances state identically.
+                        let mut state3 = vec![0i64; q * s];
+                        Sum.cascade_totals(&input, 0, s, &mut state3);
+                        assert_eq!(state3, state, "totals n={n} q={q} s={s}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The end state after an inclusive cascade is the per-order, per-lane
+    /// inclusive totals — the values the single-pass protocol publishes.
+    #[test]
+    fn cascade_state_is_per_order_totals() {
+        let input = pseudo_random(97, 5);
+        let (q, s) = (4usize, 3usize);
+        let mut state = vec![0i64; q * s];
+        Sum.cascade_totals(&input, 0, s, &mut state);
+        let mut data = input.clone();
+        for i in 0..q {
+            serial::inclusive_strided_in_place(&mut data, &Sum, s);
+            // Order-(i+1) total of lane l = last element of lane l.
+            for l in 0..s {
+                let last = (0..data.len()).rev().find(|j| j % s == l).unwrap();
+                assert_eq!(state[i * s + l], data[last], "order {i} lane {l}");
+            }
+        }
+    }
+
+    /// Splitting a cascade at any point and resuming with the carried state
+    /// gives the same outputs — chunk-boundary correctness for the
+    /// single-pass engines, including unaligned (rotating-lane) resumes.
+    #[test]
+    fn cascade_state_resumes_across_splits() {
+        let n = 231;
+        let input = pseudo_random(n, 77);
+        for q in [2usize, 5, 8] {
+            for s in [1usize, 3, 4] {
+                for split in [1usize, 8, 100, 230] {
+                    for exclusive in [false, true] {
+                        let expect = iterated_oracle(&input, q, s, exclusive);
+                        let mut dst = vec![0i64; n];
+                        let mut state = vec![0i64; q * s];
+                        let (lo, hi) = input.split_at(split);
+                        let (dlo, dhi) = dst.split_at_mut(split);
+                        Sum.cascade_scan_from(lo, dlo, 0, s, &mut state, exclusive);
+                        Sum.cascade_scan_from(hi, dhi, split, s, &mut state, exclusive);
+                        assert_eq!(dst, expect, "q={q} s={s} split={split} exc={exclusive}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Vertical lane-parallel kernels and the cascade agree with the oracle
+    /// for narrow widths where wrapping is constant.
+    #[test]
+    fn cascade_wraps_exactly_for_narrow_widths() {
+        let input: Vec<u8> = (0..400u32).map(|i| (i * 97 + 13) as u8).collect();
+        for q in [2usize, 8] {
+            let mut expect = input.clone();
+            for _ in 0..q {
+                Sum.inclusive_in_place(&mut expect, 1);
+            }
+            let mut dst = vec![0u8; input.len()];
+            let mut state = vec![0u8; q];
+            Sum.cascade_scan_from(&input, &mut dst, 0, 1, &mut state, false);
+            assert_eq!(dst, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn lane_parallel_strided_kernels_match_reference() {
+        for n in [0usize, 1, 5, 63, 64, 65, 1000] {
+            for s in [2usize, 3, 8, 40, 64] {
+                let input = pseudo_random(n, (3 * n + s) as u64);
+                let mut expect = input.clone();
+                reference_inclusive(&Sum, &mut expect, s);
+                let mut dst = vec![0i64; n];
+                Sum.inclusive_from(&input, &mut dst, s);
+                assert_eq!(dst, expect, "inc n={n} s={s}");
+
+                let mut exc_expect = input.clone();
+                serial::exclusive_strided_in_place(&mut exc_expect, &Sum, s);
+                // In-place exclusive via the vertical kernel.
+                let mut exc = input.clone();
+                Sum.exclusive_in_place(&mut exc, s);
+                assert_eq!(exc, exc_expect, "exc n={n} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cascade state")]
+    fn cascade_state_shape_is_checked() {
+        let mut dst = vec![0i64; 4];
+        let mut state = vec![0i64; 5]; // not a multiple of s = 2
+        Sum.cascade_scan_from(&[1i64, 2, 3, 4], &mut dst, 0, 2, &mut state, false);
     }
 
     #[test]

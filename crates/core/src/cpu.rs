@@ -192,6 +192,12 @@ impl CpuScanner {
         let q = spec.order() as usize;
         let s = spec.tuple();
         let exclusive = spec.kind() == ScanKind::Exclusive;
+        if q > 1 && op.supports_cascade() {
+            // Single-pass protocol: all q*s local sums published from one
+            // sweep, one ready round per chunk, binomial-weighted carries.
+            self.scan_into_cascade(input, out, op, q, s, exclusive);
+            return;
+        }
         // Sum slot for (chunk c, iteration i, lane l).
         let sum_idx = |c: usize, iter: usize, lane: usize| (c * q + iter) * s + lane;
 
@@ -292,6 +298,142 @@ impl CpuScanner {
             }
         });
     }
+}
+
+impl CpuScanner {
+    /// The single-pass higher-order protocol (cascade + binomial carry
+    /// algebra, see [`crate::carry`]); requires
+    /// [`ChunkKernel::supports_cascade`].
+    ///
+    /// Per chunk a worker makes two sweeps of L2-resident data instead of
+    /// the multi-pass path's `q`:
+    ///
+    /// 1. **publish** — a totals-only cascade from a zero seed yields all
+    ///    `q * s` per-order/per-lane local sums in one read of the input;
+    ///    they are published together and the ready counter released
+    ///    *once*, cutting cross-worker wait rounds per chunk from `q` to 1;
+    /// 2. **resolve + output** — the seed state is assembled from the
+    ///    worker's own previous end state (advanced `k - 1` chunk distances
+    ///    by the binomial weight matrix) plus each published predecessor
+    ///    (folded at its distance), and a seeded cascade re-reads the input
+    ///    and writes the final outputs directly — exclusive handled inline,
+    ///    no rewrite pass.
+    ///
+    /// The chunk size is rounded up to a multiple of `s` so every chunk
+    /// base is lane-aligned and every chunk-to-chunk lane distance is the
+    /// uniform `chunk_elems / s` (the carry-plan requirement; the last
+    /// chunk may be short but is never a predecessor).
+    fn scan_into_cascade<T, Op>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+        op: &Op,
+        q: usize,
+        s: usize,
+        exclusive: bool,
+    ) where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
+        let n = input.len();
+        let chunk_elems = self.chunk_elems.div_ceil(s) * s;
+        let num_chunks = chunkops::num_chunks(n, chunk_elems);
+        let k = self.workers.min(num_chunks);
+        if k == 1 {
+            crate::serial::scan_into(input, out, op, &spec_of(q, s, exclusive));
+            return;
+        }
+        let lane_elems = (chunk_elems / s) as u64;
+        let qs = q * s;
+
+        let mut local_arena = Arena::default();
+        let mut guard = self.arena.try_lock();
+        let arena = match guard {
+            Ok(ref mut held) => &mut **held,
+            Err(_) => &mut local_arena,
+        };
+        arena.prepare(num_chunks, num_chunks * qs);
+        let sums = &arena.sums[..num_chunks * qs];
+        let ready = &arena.ready[..num_chunks];
+
+        let out_ptr = SyncSlice(out.as_mut_ptr());
+
+        std::thread::scope(|scope| {
+            for b in 0..k {
+                let out_ptr = &out_ptr;
+                scope.spawn(move || {
+                    let plan = crate::carry::CarryPlan::new(op, q, lane_elems, k);
+                    // Working seed state, this worker's previous chunk's
+                    // end state, the publish-sweep totals, and a
+                    // predecessor-read scratch row — all q x s, allocated
+                    // once per scan.
+                    let mut state: Vec<T> = vec![op.identity(); qs];
+                    let mut own_end: Vec<T> = vec![op.identity(); qs];
+                    let mut totals: Vec<T> = vec![op.identity(); qs];
+                    let mut pred: Vec<T> = vec![op.identity(); qs];
+
+                    let mut c = b;
+                    while c < num_chunks {
+                        let range = chunkops::chunk_range(c, chunk_elems, n);
+                        let base = range.start;
+                        let src = &input[range.clone()];
+                        // SAFETY: disjoint round-robin chunk ownership, as
+                        // in `scan_into`.
+                        let chunk: &mut [T] = unsafe {
+                            std::slice::from_raw_parts_mut(out_ptr.0.add(base), range.len())
+                        };
+
+                        // Sweep 1: local per-order totals, published once.
+                        for t in totals.iter_mut() {
+                            *t = op.identity();
+                        }
+                        op.cascade_totals(src, base, s, &mut totals);
+                        let sum_base = c * qs;
+                        for (i, &t) in totals.iter().enumerate() {
+                            sums[sum_base + i].store(t.to_bits(), Ordering::Relaxed);
+                        }
+                        ready[c].store(1, Ordering::Release);
+
+                        // Assemble the seed state (one carry round).
+                        if c >= k {
+                            state.copy_from_slice(&own_end);
+                            plan.advance(op, k - 1, &mut state, s);
+                        } else {
+                            for v in state.iter_mut() {
+                                *v = op.identity();
+                            }
+                        }
+                        let first_pred = c.saturating_sub(k - 1);
+                        for (p, flag) in ready.iter().enumerate().take(c).skip(first_pred) {
+                            wait_for(flag, 1);
+                            let pb = p * qs;
+                            for (i, slot) in pred.iter_mut().enumerate() {
+                                *slot = T::from_bits(sums[pb + i].load(Ordering::Relaxed));
+                            }
+                            plan.fold(op, c - 1 - p, &pred, &mut state, s);
+                        }
+
+                        // Sweep 2: seeded cascade re-reads the (L2-resident)
+                        // input and writes the final outputs.
+                        op.cascade_scan_from(src, chunk, base, s, &mut state, exclusive);
+                        own_end.copy_from_slice(&state);
+                        c += k;
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Rebuilds a [`ScanSpec`] from its parts (for the single-worker fallback).
+fn spec_of(q: usize, s: usize, exclusive: bool) -> ScanSpec {
+    let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+    ScanSpec::inclusive()
+        .with_order(q as u32)
+        .expect("order validated by caller")
+        .with_tuple(s)
+        .expect("tuple validated by caller")
+        .with_kind(kind)
 }
 
 /// Raw output pointer shareable across scoped workers writing disjoint

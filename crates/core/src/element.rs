@@ -37,6 +37,17 @@ pub trait ScanElement:
     /// pseudo-associative — float kernels must keep the serial left-to-right
     /// association to stay deterministic (paper Section 3.1).
     const EXACT_ASSOC: bool;
+    /// Whether repeated addition of a value is *exactly* an integer multiple
+    /// — i.e. `x` added `w` times equals `x.mul(from_u64_wrapping(w))`
+    /// bit-for-bit, for every `x` and every `w` (wrapping semantics).
+    ///
+    /// This is the capability the single-pass higher-order carry algebra
+    /// requires: it replaces the q iterated carry rounds with one
+    /// binomial-coefficient-weighted application, which is only exact when
+    /// scalar multiples distribute over wrapping addition. True for the
+    /// two's-complement integer types (ring `Z/2^w`); false for floats,
+    /// where `x * 3.0` and `x + x + x` can round differently.
+    const EXACT_MUL: bool;
 
     /// Wrapping addition (plain addition for floats).
     fn add(self, other: Self) -> Self;
@@ -52,6 +63,13 @@ pub trait ScanElement:
     /// Conversion from a small integer, used by tests and workload
     /// generators.
     fn from_i64(v: i64) -> Self;
+    /// Truncating conversion from an unsigned 64-bit repetition count,
+    /// used to materialize binomial carry weights. For the integer types
+    /// this is `w as Self` (reduction mod 2^width, which is exactly the
+    /// congruence the wrapping carry algebra needs); float implementations
+    /// exist only to satisfy the trait and are never called on the
+    /// [`ScanElement::EXACT_MUL`]-gated paths.
+    fn from_u64_wrapping(w: u64) -> Self;
 }
 
 /// Integer element types, additionally supporting bitwise scan operators.
@@ -72,6 +90,7 @@ macro_rules! impl_scan_int {
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
             const EXACT_ASSOC: bool = true;
+            const EXACT_MUL: bool = true;
 
             #[inline]
             fn add(self, other: Self) -> Self {
@@ -96,6 +115,10 @@ macro_rules! impl_scan_int {
             #[inline]
             fn from_i64(v: i64) -> Self {
                 v as $t
+            }
+            #[inline]
+            fn from_u64_wrapping(w: u64) -> Self {
+                w as $t
             }
         }
 
@@ -126,6 +149,7 @@ macro_rules! impl_scan_float {
             const MIN_VALUE: Self = <$t>::NEG_INFINITY;
             const MAX_VALUE: Self = <$t>::INFINITY;
             const EXACT_ASSOC: bool = false;
+            const EXACT_MUL: bool = false;
 
             #[inline]
             fn add(self, other: Self) -> Self {
@@ -150,6 +174,10 @@ macro_rules! impl_scan_float {
             #[inline]
             fn from_i64(v: i64) -> Self {
                 v as $t
+            }
+            #[inline]
+            fn from_u64_wrapping(w: u64) -> Self {
+                w as $t
             }
         }
     )*};
@@ -196,5 +224,29 @@ mod tests {
         assert_eq!(i32::from_i64(-7), -7);
         assert_eq!(u8::from_i64(300), 44); // wraps like `as`
         assert_eq!(f32::from_i64(3), 3.0);
+    }
+
+    #[test]
+    fn exact_mul_is_repeated_addition() {
+        // The capability contract: w-fold addition == mul by the truncated
+        // weight, including past overflow.
+        fn check<T: ScanElement>(x: T, w: u64) {
+            assert!(T::EXACT_MUL);
+            let mut acc = T::ZERO;
+            for _ in 0..w {
+                acc = acc.add(x);
+            }
+            assert_eq!(acc, x.mul(T::from_u64_wrapping(w)), "{x} * {w}");
+        }
+        check(i32::MAX, 7);
+        check(u8::MAX, 300);
+        check(-3i64, 1000);
+        check(u32::MAX - 1, 513);
+        // Floats must never advertise exact multiplication.
+        fn exact_mul<T: ScanElement>() -> bool {
+            T::EXACT_MUL
+        }
+        assert!(!exact_mul::<f64>());
+        assert!(!exact_mul::<f32>());
     }
 }

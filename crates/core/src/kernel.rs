@@ -87,6 +87,12 @@ pub struct SamParams {
     pub carry: CarryPropagation,
     /// Auxiliary-array allocation strategy.
     pub aux: AuxMode,
+    /// Forces the paper's per-order carry rounds even when the operator
+    /// admits the single-pass cascade (one publish round for all `q`
+    /// orders; see [`crate::carry`]). The paper-figure harness sets this to
+    /// reproduce the published SAM, whose auxiliary traffic and pipeline
+    /// depth scale with the order.
+    pub iterated_orders: bool,
 }
 
 impl Default for SamParams {
@@ -95,6 +101,7 @@ impl Default for SamParams {
             items_per_thread: 16,
             carry: CarryPropagation::Decoupled,
             aux: AuxMode::PerChunk,
+            iterated_orders: false,
         }
     }
 }
@@ -110,7 +117,9 @@ pub struct SamRunInfo {
     pub chunk_elems: usize,
     /// Ring length (slots) of the auxiliary arrays.
     pub ring_len: usize,
-    /// Order iterations executed.
+    /// Carry-publish rounds executed per chunk: the spec's order on the
+    /// iterated path, `1` on the single-pass cascade path (which publishes
+    /// all `q * s` local sums at once; see [`crate::carry`]).
     pub orders: u32,
     /// Tuple size.
     pub tuple: usize,
@@ -186,12 +195,25 @@ where
     let q = spec.order() as usize;
     let s = spec.tuple();
 
+    // The single-pass cascade path (see `crate::carry`): every chunk
+    // publishes all `q * s` local sums from ONE sweep and releases its flag
+    // once, with predecessor carries applied through the binomial weight
+    // matrices instead of `q` separate carry rounds. Requires an exactly
+    // weight-applicable operator and lane-aligned chunks so chunk-to-chunk
+    // lane distances are uniform.
+    let single_pass = !params.iterated_orders
+        && params.carry == CarryPropagation::Decoupled
+        && q > 1
+        && op.supports_cascade()
+        && chunk_elems.is_multiple_of(s);
+    let carry_rounds = if single_pass { 1 } else { spec.order() };
+
     let info = |ring_len: usize| SamRunInfo {
         k: k as u32,
         chunks: num_chunks as u64,
         chunk_elems,
         ring_len,
-        orders: spec.order(),
+        orders: carry_rounds,
         tuple: s,
         carry: params.carry,
     };
@@ -218,6 +240,101 @@ where
     let sum_idx = |c: usize, iter: usize, lane: usize| (c % ring_len) * q * s + iter * s + lane;
     let flag_target = |c: usize, iter: usize| (c / ring_len * q + iter + 1) as u64;
 
+    if single_pass {
+        let qs = q * s;
+        let lane_elems = (chunk_elems / s) as u64;
+        let exclusive = spec.kind() == ScanKind::Exclusive;
+        // One flag bump per chunk (a generation count), not one per order.
+        let sp_flag_target = |c: usize| (c / ring_len + 1) as u64;
+
+        gpu.launch_persistent_with(k, threads, |ctx| {
+            let m = ctx.metrics();
+            let b = ctx.block;
+            let plan = crate::carry::CarryPlan::new(op, q, lane_elems, k);
+            // Seed state, this block's previous chunk's end state, and the
+            // publish-sweep totals — all q x s.
+            let mut state: Vec<T> = vec![op.identity(); qs];
+            let mut own_end: Vec<T> = vec![op.identity(); qs];
+            let mut totals: Vec<T> = vec![op.identity(); qs];
+            let mut paced_until: i64 = -1;
+
+            for c in ctx.owned_chunks(num_chunks) {
+                if ctx.is_cancelled() {
+                    return;
+                }
+                if params.aux == AuxMode::Ring {
+                    pace_ring_reuse(&watermarks, m, c, ring_len, k, &mut paced_until);
+                }
+
+                let range = chunkops::chunk_range(c, chunk_elems, n);
+                let base = range.start;
+                let len = range.len();
+                ctx.emit(c as u64, EventKind::ChunkStart);
+
+                // --- Load the chunk once, fully coalesced ----------------
+                let mut vals = vec![op.identity(); len];
+                input_buf.load_block(m, base, &mut vals, AccessClass::Element);
+
+                // --- Sweep 1: all q*s local sums from ONE cascade --------
+                for t in totals.iter_mut() {
+                    *t = op.identity();
+                }
+                op.cascade_totals(&vals, base, s, &mut totals);
+                account_block_scan(m, ctx, len, threads);
+                m.add_compute((len * (q - 1)) as u64);
+
+                // Publish the whole q x s sum matrix as one coalesced burst
+                // and release the ready flag once.
+                sums.store_many(m, (c % ring_len) * qs, &totals);
+                ctx.threadfence();
+                flags.store(m, c % ring_len, sp_flag_target(c));
+                ctx.emit(c as u64, EventKind::SumPublished { iter: 0 });
+
+                // --- One carry round: own chunk-(c-k) end state advanced
+                // k-1 chunk distances by the binomial weight matrix, each
+                // published predecessor folded at its distance ------------
+                if c >= k {
+                    state.copy_from_slice(&own_end);
+                    plan.advance(op, k - 1, &mut state, s);
+                } else {
+                    for v in state.iter_mut() {
+                        *v = op.identity();
+                    }
+                }
+                let first_pred = c.saturating_sub(k - 1);
+                if first_pred < c {
+                    wait_ready(&flags, m, first_pred..c, ring_len, sp_flag_target);
+                    for j in first_pred..c {
+                        let pred: Vec<T> =
+                            sums.load_many(m, (j % ring_len) * qs..(j % ring_len) * qs + qs);
+                        plan.fold(op, c - 1 - j, &pred, &mut state, s);
+                    }
+                    // Triangular weight fold: ~q(q+1)/2 multiply-adds per
+                    // predecessor lane.
+                    m.add_compute(((c - first_pred) * s * q * (q + 1) / 2) as u64);
+                    m.add_shuffles(32 * (usize::BITS - k.leading_zeros()) as u64);
+                }
+                ctx.emit(c as u64, EventKind::CarryReady { iter: 0 });
+
+                // --- Sweep 2: seeded cascade yields final outputs --------
+                op.cascade_scan_in_place(&mut vals, base, s, &mut state, exclusive);
+                account_block_scan(m, ctx, len, threads);
+                m.add_compute((len * (q - 1)) as u64);
+                own_end.copy_from_slice(&state);
+
+                // --- Store the chunk once, fully coalesced ---------------
+                output_buf.store_block(m, base, &vals, AccessClass::Element);
+                ctx.emit(c as u64, EventKind::ChunkDone);
+
+                if params.aux == AuxMode::Ring {
+                    watermarks.store(m, b, (c + 1) as u64);
+                }
+            }
+        });
+
+        return (output_buf.to_vec(), info(ring_len));
+    }
+
     gpu.launch_persistent_with(k, threads, |ctx| {
         let m = ctx.metrics();
         let b = ctx.block;
@@ -232,23 +349,8 @@ where
             if ctx.is_cancelled() {
                 return;
             }
-            // --- Ring-mode slot-reuse pacing (see module docs) -----------
-            if params.aux == AuxMode::Ring && c >= ring_len {
-                // Chunks up to `need` must have completed before the slot
-                // that chunk `c - ring_len` used may be overwritten.
-                let need = (c - ring_len + k - 1) as i64;
-                if paced_until < need {
-                    watermarks.poll_many(m, 0..k, |j, w| {
-                        // Largest chunk owned by block j not exceeding need.
-                        let need = need as usize;
-                        if need < j {
-                            return true;
-                        }
-                        let cj = need - (need - j) % k;
-                        w >= (cj + 1) as u64
-                    });
-                    paced_until = need;
-                }
+            if params.aux == AuxMode::Ring {
+                pace_ring_reuse(&watermarks, m, c, ring_len, k, &mut paced_until);
             }
 
             let range = chunkops::chunk_range(c, chunk_elems, n);
@@ -357,6 +459,38 @@ where
     });
 
     (output_buf.to_vec(), info(ring_len))
+}
+
+/// Ring-mode slot-reuse pacing (see module docs): before chunk `c` reuses a
+/// ring slot, waits until every reader of the slot's previous occupant has
+/// completed, tracked through the per-block completion watermarks.
+fn pace_ring_reuse(
+    watermarks: &AtomicWordBuffer,
+    m: &Metrics,
+    c: usize,
+    ring_len: usize,
+    k: usize,
+    paced_until: &mut i64,
+) {
+    if c < ring_len {
+        return;
+    }
+    // Chunks up to `need` must have completed before the slot that chunk
+    // `c - ring_len` used may be overwritten.
+    let need = (c - ring_len + k - 1) as i64;
+    if *paced_until >= need {
+        return;
+    }
+    watermarks.poll_many(m, 0..k, |j, w| {
+        // Largest chunk owned by block j not exceeding need.
+        let need = need as usize;
+        if need < j {
+            return true;
+        }
+        let cj = need - (need - j) % k;
+        w >= (cj + 1) as u64
+    });
+    *paced_until = need;
 }
 
 /// Waits for the flags of chunks `pred_range` to reach their per-chunk

@@ -37,6 +37,7 @@
 
 pub mod autotune;
 pub mod block_scan;
+pub mod carry;
 pub mod chunk_kernel;
 pub mod chunkops;
 pub mod config;
@@ -54,7 +55,7 @@ pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
 pub use op::ScanOp;
-pub use scanner::{Engine, Scanner, AUTO_PARALLEL_THRESHOLD};
+pub use scanner::{auto_parallel_threshold, Engine, Scanner, AUTO_PARALLEL_THRESHOLD};
 
 /// Scans `input` according to `spec`, using the multi-threaded CPU engine
 /// for large inputs and the serial engine for small ones.
@@ -67,7 +68,7 @@ where
     T: ScanElement,
     Op: chunk_kernel::ChunkKernel<T>,
 {
-    if input.len() < scanner::AUTO_PARALLEL_THRESHOLD {
+    if input.len() < scanner::auto_parallel_threshold(spec.order(), spec.tuple()) {
         serial::scan(input, op, spec)
     } else {
         cpu::CpuScanner::default().scan(input, op, spec)

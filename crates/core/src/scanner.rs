@@ -42,7 +42,39 @@ use gpu_sim::{DeviceSpec, Gpu};
 /// serial kernels, so the threshold is not load-bearing there. Re-time the
 /// one-shot paths after kernel changes and move this crossover if the
 /// curves shift.
+///
+/// This constant is the order-1 tuple-1 calibration point;
+/// [`auto_parallel_threshold`] scales it per spec shape, and
+/// [`Engine::auto`] uses that scaled value.
 pub const AUTO_PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Serial↔parallel crossover (elements) for a scan of the given `order` and
+/// `tuple`, used by [`Engine::auto`] and [`crate::scan`].
+///
+/// The crossover balances the CPU engine's fixed startup cost (thread
+/// spawn plus arena acquisition, independent of the spec) against the
+/// per-element work it parallelizes. That work grows linearly with the order — `q` adds
+/// per element on the single-pass cascade path, `q` strided passes on the
+/// iterated fallback — so the break-even point shrinks proportionally:
+/// `base / order`, anchored at the measured order-1 tuple-1 point
+/// [`AUTO_PARALLEL_THRESHOLD`] (an order-8 scan does 8x the work per
+/// element of the calibration scan and amortizes the startup cost at ~1/8
+/// the input size). Tuple size leaves per-element work unchanged while the
+/// lane-parallel vertical kernels apply (`tuple <=`
+/// [`crate::chunk_kernel::VERTICAL_LANES_MAX`], one add per element
+/// regardless of `s`); past that width the serial engine falls back to the
+/// scalar rotating-lane recurrence, roughly halving serial throughput, so
+/// the crossover halves too. The result is floored at `1 << 11` — below
+/// that, chunk-count limits leave too little parallelism to recover the
+/// startup cost at any spec shape.
+pub fn auto_parallel_threshold(order: u32, tuple: usize) -> usize {
+    const FLOOR: usize = 1 << 11;
+    let mut threshold = AUTO_PARALLEL_THRESHOLD / (order.max(1) as usize);
+    if tuple > crate::chunk_kernel::VERTICAL_LANES_MAX {
+        threshold /= 2;
+    }
+    threshold.max(FLOOR)
+}
 
 /// Which engine executes the scan.
 #[derive(Debug, Clone)]
@@ -53,8 +85,9 @@ pub enum Engine {
     Cpu(CpuScanner),
     /// Adaptive: serial below a size threshold, CPU engine above.
     Auto {
-        /// Crossover size in elements.
-        threshold: usize,
+        /// Crossover size in elements; `None` derives it from the spec via
+        /// [`auto_parallel_threshold`].
+        threshold: Option<usize>,
     },
     /// The instrumented SAM kernel on a simulated device.
     Simulated {
@@ -71,12 +104,10 @@ impl Engine {
         Engine::Cpu(CpuScanner::new(workers))
     }
 
-    /// The default adaptive engine, crossing over at
-    /// [`AUTO_PARALLEL_THRESHOLD`].
+    /// The default adaptive engine, crossing over at the per-spec
+    /// [`auto_parallel_threshold`].
     pub fn auto() -> Self {
-        Engine::Auto {
-            threshold: AUTO_PARALLEL_THRESHOLD,
-        }
+        Engine::Auto { threshold: None }
     }
 
     /// A simulated Titan X with auto-tuned parameters.
@@ -165,7 +196,10 @@ impl Scanner {
             Engine::Serial => crate::serial::scan(input, op, &self.spec),
             Engine::Cpu(cpu) => cpu.scan(input, op, &self.spec),
             Engine::Auto { threshold } => {
-                if input.len() < *threshold {
+                let threshold = threshold.unwrap_or_else(|| {
+                    auto_parallel_threshold(self.spec.order(), self.spec.tuple())
+                });
+                if input.len() < threshold {
                     crate::serial::scan(input, op, &self.spec)
                 } else {
                     CpuScanner::default().scan(input, op, &self.spec)
@@ -230,7 +264,32 @@ mod tests {
     #[test]
     fn auto_threshold_behaviour_is_invisible() {
         let small = data(100);
-        let s = Scanner::inclusive().engine(Engine::Auto { threshold: 50 });
+        let s = Scanner::inclusive().engine(Engine::Auto { threshold: Some(50) });
         assert_eq!(s.scan(&small, &Sum), crate::serial::prefix_sum(&small));
+    }
+
+    #[test]
+    fn auto_threshold_scales_with_per_element_work() {
+        // Order-1 tuple-1 is the calibration anchor.
+        assert_eq!(auto_parallel_threshold(1, 1), AUTO_PARALLEL_THRESHOLD);
+        // Higher orders do proportionally more work per element and cross
+        // over earlier — monotonically.
+        let mut prev = auto_parallel_threshold(1, 1);
+        for order in 2..=8 {
+            let t = auto_parallel_threshold(order, 1);
+            assert!(t <= prev, "order={order}");
+            prev = t;
+        }
+        assert_eq!(auto_parallel_threshold(8, 1), 1 << 11);
+        // Vectorizable tuple widths share the scalar anchor; past the
+        // vertical-kernel limit the serial engine slows and the crossover
+        // halves (subject to the floor).
+        assert_eq!(auto_parallel_threshold(1, 64), AUTO_PARALLEL_THRESHOLD);
+        assert_eq!(
+            auto_parallel_threshold(1, 65),
+            AUTO_PARALLEL_THRESHOLD / 2
+        );
+        // Never below the chunk-parallelism floor.
+        assert_eq!(auto_parallel_threshold(1000, 1000), 1 << 11);
     }
 }

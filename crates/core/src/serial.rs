@@ -53,9 +53,30 @@ pub fn scan<T: Copy>(input: &[T], op: &impl ChunkKernel<T>, spec: &ScanSpec) -> 
     out
 }
 
+/// Stack bound for the fused cascade's `q x s` state vector: keeps the
+/// serial fast paths allocation-free for every supported order at common
+/// tuple widths; larger shapes heap-allocate once per call.
+const CASCADE_STATE_STACK: usize = 64;
+
 /// In-place version of [`scan`].
 pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, spec: &ScanSpec) {
     let s = spec.tuple();
+    let q = spec.order() as usize;
+    if q > 1 && op.supports_cascade() {
+        // Single-pass fused reference: one sweep with a q x s state vector
+        // (see `crate::carry`) instead of q full passes — bit-identical for
+        // the exactly-associative operators the gate admits.
+        let exclusive = spec.kind() == ScanKind::Exclusive;
+        let qs = q * s;
+        if qs <= CASCADE_STATE_STACK {
+            let mut state = [op.identity(); CASCADE_STATE_STACK];
+            op.cascade_scan_in_place(data, 0, s, &mut state[..qs], exclusive);
+        } else {
+            let mut state = vec![op.identity(); qs];
+            op.cascade_scan_in_place(data, 0, s, &mut state, exclusive);
+        }
+        return;
+    }
     for iter in 0..spec.order() {
         let last = iter + 1 == spec.order();
         match (last, spec.kind()) {
@@ -80,6 +101,20 @@ pub fn scan_into<T: Copy>(input: &[T], out: &mut [T], op: &impl ChunkKernel<T>, 
     assert_eq!(input.len(), out.len(), "output length must match input");
     let s = spec.tuple();
     let q = spec.order();
+    if q > 1 && op.supports_cascade() {
+        // Single-pass fused cascade: input read once, output written once,
+        // independent of order.
+        let exclusive = spec.kind() == ScanKind::Exclusive;
+        let qs = q as usize * s;
+        if qs <= CASCADE_STATE_STACK {
+            let mut state = [op.identity(); CASCADE_STATE_STACK];
+            op.cascade_scan_from(input, out, 0, s, &mut state[..qs], exclusive);
+        } else {
+            let mut state = vec![op.identity(); qs];
+            op.cascade_scan_from(input, out, 0, s, &mut state, exclusive);
+        }
+        return;
+    }
     // Iteration 0 reads the input directly; later iterations are in place.
     if q == 1 && spec.kind() == ScanKind::Exclusive {
         op.exclusive_from(input, out, s);

@@ -417,6 +417,22 @@ impl AtomicWordBuffer {
         }
     }
 
+    /// Coalesced release-store of several contiguous words at once (e.g.
+    /// the `q x s` local sums a single-pass chunk publishes in one round).
+    /// Counted as the number of 128-byte segments the word range spans —
+    /// up to 16 words cost the same one transaction a single
+    /// [`AtomicWordBuffer::store`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn store_many<T: Pod64>(&self, m: &Metrics, start: usize, vals: &[T]) {
+        for (j, &v) in vals.iter().enumerate() {
+            self.words[start + j].store(v.to_bits(), Ordering::Release);
+        }
+        m.add_write(AccessClass::Aux, contiguous_transactions(vals.len(), 8), vals.len() as u64);
+    }
+
     /// Coalesced read of several words at once (e.g. the up-to-`k-1` local
     /// sums read in parallel by SAM). Counted as the number of 128-byte
     /// segments the word range spans.

@@ -47,7 +47,9 @@ fn order2_stereo_decode_on_the_kernel() {
     let counts = gpu.metrics().snapshot();
     assert_eq!(counts.elem_words(), 2 * pcm.len() as u64);
     assert_eq!(counts.kernel_launches, 1);
-    assert_eq!(info.orders, 2);
+    // Integer sums take the single-pass cascade: one carry-publish round
+    // regardless of the order.
+    assert_eq!(info.orders, 1);
     assert_eq!(info.tuple, 2);
 }
 

@@ -75,6 +75,7 @@ fn chained_and_ring_variants_agree_with_decoupled() {
             items_per_thread: 1,
             carry,
             aux,
+            ..SamParams::default()
         };
         let (out, info) = scan_on_gpu(&gpu, &input, &Sum, &spec, &params);
         assert_eq!(out, oracle, "carry={carry:?} aux={aux:?}");

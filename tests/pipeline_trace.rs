@@ -8,7 +8,7 @@ use sam_core::kernel::{scan_on_gpu, SamParams};
 use sam_core::op::Sum;
 use sam_core::ScanSpec;
 
-fn traced_run(order: u32) -> (Vec<gpu_sim::Event>, u64) {
+fn traced_run_with(order: u32, iterated_orders: bool) -> (Vec<gpu_sim::Event>, u64) {
     let gpu = Gpu::with_trace(DeviceSpec::k40());
     let n = 100_000;
     let input: Vec<i32> = (0..n).map(|i| i % 9 - 4).collect();
@@ -20,12 +20,17 @@ fn traced_run(order: u32) -> (Vec<gpu_sim::Event>, u64) {
         &spec,
         &SamParams {
             items_per_thread: 1,
+            iterated_orders,
             ..SamParams::default()
         },
     );
     assert_eq!(out, sam_core::serial::scan(&input, &Sum, &spec));
     let log = gpu.trace().expect("tracing enabled");
     (log.events(), info.chunks)
+}
+
+fn traced_run(order: u32) -> (Vec<gpu_sim::Event>, u64) {
+    traced_run_with(order, false)
 }
 
 /// Sequence number of the first event matching the query, indexed
@@ -89,7 +94,9 @@ fn carry_waits_for_all_window_predecessors() {
 #[test]
 fn higher_order_iterations_are_causally_chained() {
     let q = 3;
-    let (events, chunks) = traced_run(q);
+    // Pin the paper's per-order carry rounds; the single-pass cascade
+    // (the default for integer sums) has no per-iteration events to chain.
+    let (events, chunks) = traced_run_with(q, true);
     assert_eq!(events.len() as u64, (2 + 2 * u64::from(q)) * chunks);
     for c in 0..chunks {
         for iter in 0..q {
@@ -112,6 +119,22 @@ fn higher_order_iterations_are_causally_chained() {
             let pred = seq_of(&events, c - 1, EventKind::SumPublished { iter: q - 1 });
             assert!(pred < carry, "chunk {c}");
         }
+    }
+}
+
+/// The single-pass cascade collapses the higher-order pipeline to the
+/// order-1 event structure: one publish and one carry round per chunk
+/// regardless of the order, with the same publish-before-carry decoupling.
+#[test]
+fn single_pass_higher_order_has_one_round_per_chunk() {
+    let q = 5;
+    let (events, chunks) = traced_run(q);
+    // Exactly four events per chunk, as at order 1.
+    assert_eq!(events.len() as u64, 4 * chunks);
+    for c in 0..chunks {
+        let publish = seq_of(&events, c, EventKind::SumPublished { iter: 0 });
+        let carry = seq_of(&events, c, EventKind::CarryReady { iter: 0 });
+        assert!(publish < carry, "chunk {c}");
     }
 }
 
