@@ -32,9 +32,10 @@
 use crate::chunk_kernel::ChunkKernel;
 use crate::chunkops;
 use crate::config::{ScanKind, ScanSpec};
-use gpu_sim::Pod64;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use gpu_sim::sched::{self, HookPoint};
+use gpu_sim::{Pod64, Scheduler};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, TryLockError};
 
 /// A reusable multi-threaded scanner with configurable worker count and
 /// chunk size.
@@ -56,7 +57,14 @@ pub struct CpuScanner {
     /// Grow-only auxiliary-array arena, reused across scans (see the
     /// module docs). `try_lock`ed per scan: concurrent scans on a shared
     /// scanner fall back to a scan-local arena instead of serializing.
+    /// Poisoning is recovered from — the arena holds no invariants across
+    /// scans (ready counters are reset by `prepare`), so a panicked scan
+    /// must not permanently degrade the scanner.
     arena: Mutex<Arena>,
+    /// Optional schedule-exploration scheduler (`gpu_sim::sched`): when
+    /// set, every worker's ready-counter publish and wait probe becomes an
+    /// injection / recording / replay point.
+    sched: Option<Arc<Scheduler>>,
 }
 
 /// Reusable backing store for the per-chunk sum slots and ready counters.
@@ -89,6 +97,7 @@ impl Clone for CpuScanner {
             workers: self.workers,
             chunk_elems: self.chunk_elems,
             arena: Mutex::new(Arena::default()),
+            sched: self.sched.clone(),
         }
     }
 }
@@ -98,6 +107,7 @@ impl std::fmt::Debug for CpuScanner {
         f.debug_struct("CpuScanner")
             .field("workers", &self.workers)
             .field("chunk_elems", &self.chunk_elems)
+            .field("sched", &self.sched.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -110,6 +120,7 @@ impl Default for CpuScanner {
             workers,
             chunk_elems: 32 * 1024,
             arena: Mutex::new(Arena::default()),
+            sched: None,
         }
     }
 }
@@ -136,6 +147,16 @@ impl CpuScanner {
     pub fn with_chunk_elems(mut self, chunk_elems: usize) -> Self {
         assert!(chunk_elems > 0, "chunk size must be positive");
         self.chunk_elems = chunk_elems;
+        self
+    }
+
+    /// Attaches a schedule-exploration scheduler
+    /// ([`gpu_sim::sched::Scheduler`]): subsequent scans run every
+    /// worker's ready-counter publish and wait probe under its injection,
+    /// recording, or replay regime. Used by the hostile-scheduler tests
+    /// and the `sched_stress` sweep.
+    pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -202,10 +223,18 @@ impl CpuScanner {
         let sum_idx = |c: usize, iter: usize, lane: usize| (c * q + iter) * s + lane;
 
         let mut local_arena = Arena::default();
-        let mut guard = self.arena.try_lock();
+        let mut guard = match self.arena.try_lock() {
+            Ok(held) => Some(held),
+            // A panicked scan poisons the lock but leaves no cross-scan
+            // invariants behind (ready counters are reset by `prepare`);
+            // recover instead of degrading every future scan to a
+            // scan-local arena.
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        };
         let arena = match guard {
-            Ok(ref mut held) => &mut **held,
-            Err(_) => &mut local_arena,
+            Some(ref mut held) => &mut **held,
+            None => &mut local_arena,
         };
         arena.prepare(num_chunks, num_chunks * q * s);
         let sums = &arena.sums[..num_chunks * q * s];
@@ -214,10 +243,20 @@ impl CpuScanner {
         let out_ptr = SyncSlice(out.as_mut_ptr());
         let chunk_elems = self.chunk_elems;
 
-        std::thread::scope(|scope| {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let sched = self.sched.clone();
+        let payload = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
             for b in 0..k {
                 let out_ptr = &out_ptr;
-                scope.spawn(move || {
+                let sched = sched.clone();
+                let cancel = Arc::clone(&cancel);
+                handles.push(scope.spawn(move || {
+                    // The guard raises `cancel` if this worker panics, so
+                    // siblings blocked in `wait_for` on a ready counter
+                    // this worker will never bump unwind cooperatively
+                    // instead of spinning forever.
+                    let _guard = sched::enter_block(b, k, sched, Arc::clone(&cancel));
                     // Per-worker lane scratch, allocated once per scan:
                     // carry/totals of this block's previous chunk per
                     // iteration (flattened `q * s`), plus the working
@@ -252,7 +291,9 @@ impl CpuScanner {
                             for (lane, &t) in totals.iter().enumerate() {
                                 sums[sum_idx(c, iter, lane)].store(t.to_bits(), Ordering::Relaxed);
                             }
-                            ready[c].store((iter + 1) as u64, Ordering::Release);
+                            sched::with_hook(HookPoint::FlagStore { idx: c }, || {
+                                ready[c].store((iter + 1) as u64, Ordering::Release);
+                            });
 
                             // Gather predecessors (Figure 2): start from the
                             // carry + local sums this worker produced `k`
@@ -271,7 +312,7 @@ impl CpuScanner {
                                 }
                             }
                             for j in first_pred..c {
-                                wait_for(&ready[j], (iter + 1) as u64);
+                                wait_for(&ready[j], (iter + 1) as u64, j, &cancel);
                                 for (l, slot) in carry.iter_mut().enumerate() {
                                     let v = T::from_bits(
                                         sums[sum_idx(j, iter, l)].load(Ordering::Relaxed),
@@ -294,9 +335,15 @@ impl CpuScanner {
 
                         c += k;
                     }
-                });
+                }));
             }
+            // Prefer the originating panic over the cooperative Cancelled
+            // unwinds it triggered in sibling workers.
+            sched::join_workers(handles)
         });
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
     }
 }
 
@@ -347,10 +394,18 @@ impl CpuScanner {
         let qs = q * s;
 
         let mut local_arena = Arena::default();
-        let mut guard = self.arena.try_lock();
+        let mut guard = match self.arena.try_lock() {
+            Ok(held) => Some(held),
+            // A panicked scan poisons the lock but leaves no cross-scan
+            // invariants behind (ready counters are reset by `prepare`);
+            // recover instead of degrading every future scan to a
+            // scan-local arena.
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        };
         let arena = match guard {
-            Ok(ref mut held) => &mut **held,
-            Err(_) => &mut local_arena,
+            Some(ref mut held) => &mut **held,
+            None => &mut local_arena,
         };
         arena.prepare(num_chunks, num_chunks * qs);
         let sums = &arena.sums[..num_chunks * qs];
@@ -358,10 +413,18 @@ impl CpuScanner {
 
         let out_ptr = SyncSlice(out.as_mut_ptr());
 
-        std::thread::scope(|scope| {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let sched = self.sched.clone();
+        let payload = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
             for b in 0..k {
                 let out_ptr = &out_ptr;
-                scope.spawn(move || {
+                let sched = sched.clone();
+                let cancel = Arc::clone(&cancel);
+                handles.push(scope.spawn(move || {
+                    // Same cancellation discipline as `scan_into`: a panic
+                    // here raises `cancel` for siblings stuck in `wait_for`.
+                    let _guard = sched::enter_block(b, k, sched, Arc::clone(&cancel));
                     let plan = crate::carry::CarryPlan::new(op, q, lane_elems, k);
                     // Working seed state, this worker's previous chunk's
                     // end state, the publish-sweep totals, and a
@@ -392,7 +455,9 @@ impl CpuScanner {
                         for (i, &t) in totals.iter().enumerate() {
                             sums[sum_base + i].store(t.to_bits(), Ordering::Relaxed);
                         }
-                        ready[c].store(1, Ordering::Release);
+                        sched::with_hook(HookPoint::FlagStore { idx: c }, || {
+                            ready[c].store(1, Ordering::Release);
+                        });
 
                         // Assemble the seed state (one carry round).
                         if c >= k {
@@ -405,7 +470,7 @@ impl CpuScanner {
                         }
                         let first_pred = c.saturating_sub(k - 1);
                         for (p, flag) in ready.iter().enumerate().take(c).skip(first_pred) {
-                            wait_for(flag, 1);
+                            wait_for(flag, 1, p, &cancel);
                             let pb = p * qs;
                             for (i, slot) in pred.iter_mut().enumerate() {
                                 *slot = T::from_bits(sums[pb + i].load(Ordering::Relaxed));
@@ -419,9 +484,13 @@ impl CpuScanner {
                         own_end.copy_from_slice(&state);
                         c += k;
                     }
-                });
+                }));
             }
+            sched::join_workers(handles)
         });
+        if let Some(p) = payload {
+            std::panic::resume_unwind(p);
+        }
     }
 }
 
@@ -443,28 +512,47 @@ struct SyncSlice<T>(*mut T);
 unsafe impl<T: Send> Sync for SyncSlice<T> {}
 unsafe impl<T: Send> Send for SyncSlice<T> {}
 
-/// Spins until `flag` reaches at least `target`, acquiring its publication.
+/// Spins until `flag` (the ready counter of chunk `chunk`) reaches at
+/// least `target`, acquiring its publication.
 ///
 /// The fast path is a single load; the miss path backs off exponentially
 /// (doubling bursts of `spin_loop` hints up to ~1k) before falling back to
 /// OS yields, so progress never depends on core count and waiting workers
 /// leave the memory bus to the one publishing.
+///
+/// Every probe goes through the scheduler hook
+/// ([`gpu_sim::sched::with_hook`]) and the miss path additionally checks
+/// `cancel`: if a sibling worker panics before bumping this counter (its
+/// guard raises the flag), the wait unwinds with
+/// [`gpu_sim::sched::Cancelled`] instead of spinning forever — the hang
+/// this harness was built to expose.
 #[inline]
-fn wait_for(flag: &AtomicU64, target: u64) {
-    if flag.load(Ordering::Acquire) >= target {
+fn wait_for(flag: &AtomicU64, target: u64, chunk: usize, cancel: &AtomicBool) {
+    let probe = || {
+        sched::with_hook(HookPoint::FlagLoad { idx: chunk }, || {
+            flag.load(Ordering::Acquire)
+        })
+    };
+    if probe() >= target {
         return;
     }
-    wait_for_slow(flag, target);
+    wait_for_slow(flag, target, chunk, cancel);
 }
 
 #[cold]
-fn wait_for_slow(flag: &AtomicU64, target: u64) {
+fn wait_for_slow(flag: &AtomicU64, target: u64, chunk: usize, cancel: &AtomicBool) {
     let mut burst = 1u32;
     loop {
         for _ in 0..burst {
             std::hint::spin_loop();
         }
-        if flag.load(Ordering::Acquire) >= target {
+        if cancel.load(Ordering::Relaxed) {
+            std::panic::panic_any(sched::Cancelled);
+        }
+        let v = sched::with_hook(HookPoint::FlagLoad { idx: chunk }, || {
+            flag.load(Ordering::Acquire)
+        });
+        if v >= target {
             return;
         }
         if burst < 1024 {

@@ -45,6 +45,7 @@
 use crate::chunk_kernel::ChunkKernel;
 use crate::chunkops;
 use crate::config::{ScanKind, ScanSpec};
+use gpu_sim::sched;
 use gpu_sim::Pod64;
 use gpu_sim::{
     AccessClass, AtomicWordBuffer, BlockContext, CarryScheme, EventKind, GlobalBuffer, Gpu,
@@ -259,9 +260,11 @@ where
             let mut paced_until: i64 = -1;
 
             for c in ctx.owned_chunks(num_chunks) {
-                if ctx.is_cancelled() {
-                    return;
-                }
+                // Chunk-start checkpoint: a scheduler preemption point and
+                // a cancellation point (unwinds if a sibling block died,
+                // instead of producing a silently-partial result).
+                sched::checkpoint(c as u64);
+                ctx.check_cancelled();
                 if params.aux == AuxMode::Ring {
                     pace_ring_reuse(&watermarks, m, c, ring_len, k, &mut paced_until);
                 }
@@ -346,9 +349,9 @@ where
         let mut paced_until: i64 = -1;
 
         for c in ctx.owned_chunks(num_chunks) {
-            if ctx.is_cancelled() {
-                return;
-            }
+            // Chunk-start checkpoint, as on the single-pass path.
+            sched::checkpoint(c as u64);
+            ctx.check_cancelled();
             if params.aux == AuxMode::Ring {
                 pace_ring_reuse(&watermarks, m, c, ring_len, k, &mut paced_until);
             }
@@ -368,6 +371,9 @@ where
             let mut exclusive_carry: Option<Vec<T>> = None;
 
             for iter in 0..q {
+                // Mid-chunk cancellation point: a chunk runs q carry
+                // rounds, and a sibling can die between any two of them.
+                ctx.check_cancelled();
                 // --- Local strided scan + per-lane totals ----------------
                 let totals = chunkops::local_scan_with_totals(&mut vals, base, s, op);
                 account_block_scan(m, ctx, len, threads);

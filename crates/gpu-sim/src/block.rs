@@ -139,6 +139,17 @@ impl<'a> BlockContext<'a> {
         self.cancelled.load(Ordering::Relaxed)
     }
 
+    /// Unwinds with the cooperative-cancellation sentinel
+    /// ([`crate::sched::Cancelled`]) if the launch has been cancelled.
+    /// Persistent kernels call this between protocol steps so a panicked
+    /// sibling block cannot strand survivors mid-scan; the launch joins
+    /// everyone and propagates the original panic.
+    pub fn check_cancelled(&self) {
+        if self.is_cancelled() {
+            std::panic::panic_any(crate::sched::Cancelled);
+        }
+    }
+
     /// Splits `n` work items into the contiguous chunk ranges this grid
     /// processes, returning an iterator over the chunk indices owned by this
     /// block under the persistent-block round-robin assignment (block `b`

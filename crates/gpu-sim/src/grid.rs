@@ -14,8 +14,10 @@
 use crate::block::BlockContext;
 use crate::device::DeviceSpec;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::sched::{self, Scheduler};
 use crate::trace::EventLog;
 use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// A simulated GPU: a [`DeviceSpec`] plus live [`Metrics`].
 ///
@@ -44,6 +46,7 @@ pub struct Gpu {
     spec: DeviceSpec,
     metrics: Metrics,
     trace: Option<EventLog>,
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl Gpu {
@@ -53,6 +56,7 @@ impl Gpu {
             spec,
             metrics: Metrics::new(),
             trace: None,
+            sched: None,
         }
     }
 
@@ -64,7 +68,21 @@ impl Gpu {
             spec,
             metrics: Metrics::new(),
             trace: Some(EventLog::new()),
+            sched: None,
         }
+    }
+
+    /// Attaches a schedule-exploration [`Scheduler`] ([`crate::sched`]):
+    /// every persistent block of subsequent launches runs under its
+    /// injection, recording, or replay regime.
+    pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// The attached scheduler, if any.
+    pub fn scheduler(&self) -> Option<&Arc<Scheduler>> {
+        self.sched.as_ref()
     }
 
     /// The attached event log, if tracing is enabled.
@@ -82,11 +100,12 @@ impl Gpu {
         &self.metrics
     }
 
-    /// Snapshots and resets the metrics, returning the snapshot.
+    /// Takes the metrics, returning the counts accumulated since the last
+    /// take and resetting them — in one atomic swap per counter, so counts
+    /// added by a concurrent launch land either in this snapshot or the
+    /// next, never lost (see [`Metrics::take`]).
     pub fn take_metrics(&self) -> MetricsSnapshot {
-        let s = self.metrics.snapshot();
-        self.metrics.reset();
-        s
+        self.metrics.take()
     }
 
     /// Launches a grid of `grid_blocks` independent blocks of
@@ -136,9 +155,12 @@ impl Gpu {
     /// # Panics
     ///
     /// Propagates panics from kernel threads after all threads have been
-    /// joined (the cancellation flag is raised on first panic so sibling
-    /// blocks polling flags can bail out via
-    /// [`BlockContext::is_cancelled`]).
+    /// joined. The cancellation flag is raised on first panic, and because
+    /// every [`crate::AtomicWordBuffer`] flag operation is a cancellation
+    /// point ([`crate::sched::with_hook`]), sibling blocks stuck polling a
+    /// flag the dead block will never publish unwind cooperatively instead
+    /// of spinning forever; the propagated payload is the original panic,
+    /// not the cooperative [`crate::sched::Cancelled`] unwinds it caused.
     pub fn launch_persistent<F>(&self, kernel: F)
     where
         F: Fn(&mut BlockContext<'_>) + Sync,
@@ -156,7 +178,7 @@ impl Gpu {
         assert!(blocks > 0, "persistent launch needs at least one block");
         assert!(threads_per_block > 0, "threads_per_block must be positive");
         self.metrics.add_launch();
-        let cancelled = AtomicBool::new(false);
+        let cancelled = Arc::new(AtomicBool::new(false));
         let result = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(blocks);
             for b in 0..blocks {
@@ -165,37 +187,29 @@ impl Gpu {
                 let kernel = &kernel;
                 let cancelled = &cancelled;
                 let trace = self.trace.as_ref();
+                let sched = self.sched.clone();
                 handles.push(scope.spawn(move || {
+                    // Install the per-thread hook context first: its guard
+                    // raises the cancellation flag if this block panics, so
+                    // sibling blocks stuck polling a flag this block will
+                    // never publish unwind instead of spinning forever.
+                    let _guard =
+                        sched::enter_block(b, blocks, sched, Arc::clone(cancelled));
                     let mut ctx = BlockContext::new(
                         b,
                         blocks,
                         threads_per_block,
                         spec,
                         metrics,
-                        cancelled,
+                        cancelled.as_ref(),
                     )
                     .with_trace(trace);
-                    // Raise the cancellation flag if this block panics so
-                    // sibling blocks stuck polling can observe it.
-                    struct Guard<'g>(&'g AtomicBool);
-                    impl Drop for Guard<'_> {
-                        fn drop(&mut self) {
-                            if std::thread::panicking() {
-                                self.0.store(true, std::sync::atomic::Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    let _guard = Guard(cancelled);
                     kernel(&mut ctx);
                 }));
             }
-            let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-            for h in handles {
-                if let Err(p) = h.join() {
-                    panic_payload.get_or_insert(p);
-                }
-            }
-            panic_payload
+            // Prefer the originating panic over the cooperative Cancelled
+            // unwinds it triggered in sibling blocks.
+            sched::join_workers(handles)
         });
         if let Some(p) = result {
             std::panic::resume_unwind(p);

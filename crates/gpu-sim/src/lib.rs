@@ -57,6 +57,7 @@ pub mod memory;
 pub mod metrics;
 pub mod occupancy;
 pub mod perf;
+pub mod sched;
 pub mod trace;
 pub mod warp;
 
@@ -68,4 +69,5 @@ pub use memory::{AtomicWordBuffer, DeviceCopy, GlobalBuffer, Pod64};
 pub use metrics::{AccessClass, Metrics, MetricsSnapshot};
 pub use occupancy::{KernelResources, Limiter, Occupancy};
 pub use perf::{AlgoTuning, Bound, CarryScheme, PerfEstimate, PerfModel, RunProfile};
+pub use sched::{SchedPolicy, Scheduler};
 pub use trace::{Event, EventKind, EventLog};

@@ -20,6 +20,7 @@
 
 use crate::device::SEGMENT_BYTES;
 use crate::metrics::{AccessClass, Metrics};
+use crate::sched::{self, HookPoint};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -335,14 +336,24 @@ impl AtomicWordBuffer {
     }
 
     /// Release-stores a value (counted as one aux write transaction).
+    ///
+    /// A scheduler hook point and cancellation point inside persistent
+    /// launches ([`crate::sched::with_hook`]).
     pub fn store<T: Pod64>(&self, m: &Metrics, idx: usize, value: T) {
-        self.words[idx].store(value.to_bits(), Ordering::Release);
+        sched::with_hook(HookPoint::FlagStore { idx }, || {
+            self.words[idx].store(value.to_bits(), Ordering::Release);
+        });
         m.add_write(AccessClass::Aux, 1, 1);
     }
 
     /// Acquire-loads a value (counted as one aux read transaction).
+    ///
+    /// A scheduler hook point and cancellation point inside persistent
+    /// launches ([`crate::sched::with_hook`]).
     pub fn load<T: Pod64>(&self, m: &Metrics, idx: usize) -> T {
-        let bits = self.words[idx].load(Ordering::Acquire);
+        let bits = sched::with_hook(HookPoint::FlagLoad { idx }, || {
+            self.words[idx].load(Ordering::Acquire)
+        });
         m.add_read(AccessClass::Aux, 1, 1);
         T::from_bits(bits)
     }
@@ -363,9 +374,16 @@ impl AtomicWordBuffer {
     ///
     /// Mirrors SAM's polling of not-yet-ready flags: only non-ready flags
     /// are re-polled.
+    ///
+    /// Every probe is a scheduler hook point and a cancellation point: if
+    /// a sibling block panics (raising the launch's cancellation flag),
+    /// the next probe unwinds with [`crate::sched::Cancelled`] instead of
+    /// spinning forever on a flag that will never be published.
     pub fn poll(&self, m: &Metrics, idx: usize, mut pred: impl FnMut(u64) -> bool) -> u64 {
         loop {
-            let v = self.words[idx].load(Ordering::Acquire);
+            let v = sched::with_hook(HookPoint::FlagLoad { idx }, || {
+                self.words[idx].load(Ordering::Acquire)
+            });
             if pred(v) {
                 m.add_read(AccessClass::Aux, 1, 1);
                 return v;
@@ -386,6 +404,10 @@ impl AtomicWordBuffer {
     /// scheduling artifact (how long a producer happens to lag), which the
     /// performance model treats as hideable latency rather than traffic.
     /// Returns the satisfying values.
+    ///
+    /// Like [`AtomicWordBuffer::poll`], every per-word probe is a
+    /// scheduler hook point and a cancellation point, so a panicked
+    /// sibling block cannot strand a sweeping waiter.
     pub fn poll_many(
         &self,
         m: &Metrics,
@@ -400,7 +422,9 @@ impl AtomicWordBuffer {
         loop {
             for (off, idx) in range.clone().enumerate() {
                 if !ready[off] {
-                    let v = self.words[idx].load(Ordering::Acquire);
+                    let v = sched::with_hook(HookPoint::FlagLoad { idx }, || {
+                        self.words[idx].load(Ordering::Acquire)
+                    });
                     if pred(idx, v) {
                         vals[off] = v;
                         ready[off] = true;
@@ -427,9 +451,13 @@ impl AtomicWordBuffer {
     ///
     /// Panics if the range is out of bounds.
     pub fn store_many<T: Pod64>(&self, m: &Metrics, start: usize, vals: &[T]) {
-        for (j, &v) in vals.iter().enumerate() {
-            self.words[start + j].store(v.to_bits(), Ordering::Release);
-        }
+        // One hook for the whole coalesced publish: it is one protocol
+        // operation (and one transaction group) from the scheduler's view.
+        sched::with_hook(HookPoint::FlagStore { idx: start }, || {
+            for (j, &v) in vals.iter().enumerate() {
+                self.words[start + j].store(v.to_bits(), Ordering::Release);
+            }
+        });
         m.add_write(AccessClass::Aux, contiguous_transactions(vals.len(), 8), vals.len() as u64);
     }
 
@@ -437,10 +465,12 @@ impl AtomicWordBuffer {
     /// sums read in parallel by SAM). Counted as the number of 128-byte
     /// segments the word range spans.
     pub fn load_many<T: Pod64>(&self, m: &Metrics, range: std::ops::Range<usize>) -> Vec<T> {
-        let out: Vec<T> = range
-            .clone()
-            .map(|i| T::from_bits(self.words[i].load(Ordering::Acquire)))
-            .collect();
+        let out: Vec<T> = sched::with_hook(HookPoint::FlagLoad { idx: range.start }, || {
+            range
+                .clone()
+                .map(|i| T::from_bits(self.words[i].load(Ordering::Acquire)))
+                .collect()
+        });
         m.add_read(AccessClass::Aux, contiguous_transactions(out.len(), 8), out.len() as u64);
         out
     }

@@ -152,6 +152,30 @@ impl Metrics {
         }
     }
 
+    /// Atomically takes every counter: returns the accumulated values and
+    /// resets them to zero in a single swap per counter. An increment
+    /// racing the take lands either in this snapshot or the next — unlike
+    /// [`Metrics::snapshot`] followed by [`Metrics::reset`], which loses
+    /// anything added between the two calls.
+    pub fn take(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            kernel_launches: self.kernel_launches.swap(0, Ordering::Relaxed),
+            elem_read_transactions: self.elem_read_transactions.swap(0, Ordering::Relaxed),
+            elem_write_transactions: self.elem_write_transactions.swap(0, Ordering::Relaxed),
+            elem_read_words: self.elem_read_words.swap(0, Ordering::Relaxed),
+            elem_write_words: self.elem_write_words.swap(0, Ordering::Relaxed),
+            aux_read_transactions: self.aux_read_transactions.swap(0, Ordering::Relaxed),
+            aux_write_transactions: self.aux_write_transactions.swap(0, Ordering::Relaxed),
+            spill_transactions: self.spill_transactions.swap(0, Ordering::Relaxed),
+            flag_polls: self.flag_polls.swap(0, Ordering::Relaxed),
+            fences: self.fences.swap(0, Ordering::Relaxed),
+            barriers: self.barriers.swap(0, Ordering::Relaxed),
+            shuffles: self.shuffles.swap(0, Ordering::Relaxed),
+            compute_ops: self.compute_ops.swap(0, Ordering::Relaxed),
+            shared_accesses: self.shared_accesses.swap(0, Ordering::Relaxed),
+        }
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.kernel_launches.store(0, Ordering::Relaxed);
@@ -298,6 +322,26 @@ mod tests {
         m.add_launch();
         m.add_compute(10);
         m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn take_loses_no_increments_under_concurrency() {
+        let m = Metrics::new();
+        let total = std::thread::scope(|s| {
+            let adder = s.spawn(|| {
+                for _ in 0..100_000 {
+                    m.add_poll();
+                }
+            });
+            let mut total = 0u64;
+            while !adder.is_finished() {
+                total += m.take().flag_polls;
+            }
+            adder.join().unwrap();
+            total + m.take().flag_polls
+        });
+        assert_eq!(total, 100_000);
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 

@@ -1,0 +1,169 @@
+//! Hostile-scheduler tests for the persistent-block layer itself: a dead
+//! block must never strand sibling pollers (the launch propagates the
+//! original panic instead of hanging), and the flag publication protocol
+//! must survive — and replay — adversarial interleavings injected by
+//! `gpu_sim::sched`.
+
+use gpu_sim::sched::{SchedPolicy, Scheduler};
+use gpu_sim::{AtomicWordBuffer, DeviceSpec, Gpu};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Runs `body` on its own thread and fails the test if it does not finish
+/// before the watchdog expires — the hang is exactly the failure mode this
+/// harness exists to catch. Returns the body's panic as a value so tests
+/// can assert on the payload. A hung thread is leaked; libtest's process
+/// exit reaps it.
+fn with_watchdog<R: Send + 'static>(
+    body: impl FnOnce() -> R + Send + 'static,
+) -> std::thread::Result<R> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)));
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("watchdog expired: the protocol hung instead of terminating")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string payload>")
+}
+
+/// A block that panics before publishing must not strand siblings spinning
+/// in `AtomicWordBuffer::poll` on the flag it will never set; the launch
+/// must terminate and propagate the *original* panic.
+#[test]
+fn panicked_block_cannot_strand_pollers() {
+    let result = with_watchdog(|| {
+        let gpu = Gpu::new(DeviceSpec::k40());
+        let flags = AtomicWordBuffer::zeroed(8);
+        gpu.launch_persistent_with(4, 32, |ctx| {
+            if ctx.block == 1 {
+                panic!("block one died");
+            }
+            // Wait on a flag only block 1 would have published.
+            flags.poll(ctx.metrics(), 0, |v| v >= 1);
+        });
+    });
+    let payload = result.expect_err("the launch must propagate the panic");
+    assert_eq!(panic_message(payload.as_ref()), "block one died");
+}
+
+/// Same liveness guarantee for the coalesced sweep variant
+/// (`AtomicWordBuffer::poll_many`), the kernels' actual waiting primitive.
+#[test]
+fn panicked_block_cannot_strand_poll_many_sweeps() {
+    let result = with_watchdog(|| {
+        let gpu = Gpu::new(DeviceSpec::k40());
+        let flags = AtomicWordBuffer::zeroed(8);
+        gpu.launch_persistent_with(4, 32, |ctx| {
+            if ctx.block == 0 {
+                panic!("producer died");
+            }
+            flags.poll_many(ctx.metrics(), 0..4, |_, v| v >= 1);
+        });
+    });
+    let payload = result.expect_err("the launch must propagate the panic");
+    assert_eq!(panic_message(payload.as_ref()), "producer died");
+}
+
+/// The serial flag chain of the protocol (block `b` waits for `b - 1`),
+/// used by every test below: the worst consumer of adversarial start
+/// orders, since the whole grid depends transitively on block 0.
+fn chained_sum(gpu: &Gpu, k: usize) -> i64 {
+    let flags = AtomicWordBuffer::zeroed(k + 1);
+    let sums = AtomicWordBuffer::zeroed(k + 1);
+    flags.poke(0, 1u64);
+    sums.poke(0, 0i64);
+    gpu.launch_persistent_with(k, 32, |ctx| {
+        let m = ctx.metrics();
+        let b = ctx.block;
+        flags.poll(m, b, |f| f >= 1);
+        let prev: i64 = sums.load(m, b);
+        sums.store(m, b + 1, prev + b as i64);
+        ctx.threadfence();
+        flags.store(m, b + 1, 1u64);
+    });
+    sums.peek(k)
+}
+
+const CHAIN_K: usize = 8;
+const CHAIN_EXPECT: i64 = (CHAIN_K * (CHAIN_K - 1) / 2) as i64;
+
+/// Reverse start order: the chain's head (block 0) starts *last*, so every
+/// consumer is already spinning when its predecessor begins.
+#[test]
+fn chained_protocol_survives_reverse_start_order() {
+    let result = with_watchdog(|| {
+        let sched = Arc::new(Scheduler::new(SchedPolicy::reverse_start(7)));
+        let gpu = Gpu::new(DeviceSpec::k40()).with_scheduler(sched);
+        chained_sum(&gpu, CHAIN_K)
+    });
+    assert_eq!(result.expect("launch panicked"), CHAIN_EXPECT);
+}
+
+/// A stalled predecessor: block 0 sleeps on a fixed cadence while the
+/// whole grid waits on it transitively.
+#[test]
+fn chained_protocol_survives_stalled_predecessor() {
+    let result = with_watchdog(|| {
+        let sched = Arc::new(Scheduler::new(SchedPolicy::stalled_predecessor(3, 0)));
+        let gpu = Gpu::new(DeviceSpec::k40()).with_scheduler(sched);
+        chained_sum(&gpu, CHAIN_K)
+    });
+    assert_eq!(result.expect("launch panicked"), CHAIN_EXPECT);
+}
+
+/// Record a jittered run of the chained protocol, then replay the
+/// recorded schedule: the replay must observe the *identical* operation
+/// linearization and produce the identical result — a failing seed becomes
+/// a deterministic repro.
+#[test]
+fn recorded_schedule_replays_exactly() {
+    let result = with_watchdog(|| {
+        let rec_sched = Arc::new(Scheduler::new(SchedPolicy::jitter(42).with_record()));
+        let gpu = Gpu::new(DeviceSpec::k40()).with_scheduler(Arc::clone(&rec_sched));
+        assert_eq!(chained_sum(&gpu, CHAIN_K), CHAIN_EXPECT);
+        let recording = rec_sched.recording();
+        assert_eq!(recording.dropped, 0, "recording was truncated");
+        assert!(!recording.events.is_empty());
+
+        for _ in 0..2 {
+            let replayer = Arc::new(Scheduler::replay(&recording));
+            let gpu = Gpu::new(DeviceSpec::k40()).with_scheduler(Arc::clone(&replayer));
+            assert_eq!(chained_sum(&gpu, CHAIN_K), CHAIN_EXPECT);
+            assert_eq!(
+                replayer.recording().events,
+                recording.events,
+                "replay diverged from the recorded schedule"
+            );
+        }
+    });
+    result.expect("record/replay round-trip panicked");
+}
+
+/// A panic inside a *scheduled* (recorded) launch still terminates and
+/// propagates: injection and cancellation compose.
+#[test]
+fn panic_under_injection_still_propagates() {
+    let result = with_watchdog(|| {
+        let sched = Arc::new(Scheduler::new(SchedPolicy::hostile(99)));
+        let gpu = Gpu::new(DeviceSpec::k40()).with_scheduler(sched);
+        let flags = AtomicWordBuffer::zeroed(8);
+        gpu.launch_persistent_with(4, 32, |ctx| {
+            if ctx.block == 2 {
+                panic!("hostile casualty");
+            }
+            flags.poll(ctx.metrics(), 7, |v| v >= 1);
+        });
+    });
+    let payload = result.expect_err("the launch must propagate the panic");
+    assert_eq!(panic_message(payload.as_ref()), "hostile casualty");
+}
