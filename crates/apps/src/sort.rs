@@ -17,6 +17,8 @@
 
 use sam_core::cpu::CpuScanner;
 use sam_core::op::Sum;
+use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
+use sam_core::scanner::Engine;
 use sam_core::ScanSpec;
 
 /// Keys sortable by their bits: the transform must be monotone — comparing
@@ -87,13 +89,39 @@ pub fn split<T: Copy>(values: &[T], flags: &[bool], scanner: &CpuScanner) -> Vec
     assert_eq!(values.len(), flags.len(), "one flag per value");
     let zeros: Vec<i64> = flags.iter().map(|&f| i64::from(!f)).collect();
     let zero_pos = scanner.scan(&zeros, &Sum, &ScanSpec::exclusive());
+    let ones: Vec<i64> = flags.iter().map(|&f| i64::from(f)).collect();
+    let one_pos = scanner.scan(&ones, &Sum, &ScanSpec::exclusive());
+    scatter_split(values, flags, &zero_pos, &one_pos, &zeros)
+}
+
+/// [`split`] over a plan-once [`ScanSession`] (exclusive order-1 tuple-1
+/// `i64` sums): callers running many splits — [`split_sort`] runs two per
+/// key bit — plan the engine once and reuse its resources every pass.
+pub fn split_with<T: Copy>(
+    values: &[T],
+    flags: &[bool],
+    session: &ScanSession<i64, Sum>,
+) -> Vec<T> {
+    assert_eq!(values.len(), flags.len(), "one flag per value");
+    let zeros: Vec<i64> = flags.iter().map(|&f| i64::from(!f)).collect();
+    let zero_pos = session.scan(&zeros);
+    let ones: Vec<i64> = flags.iter().map(|&f| i64::from(f)).collect();
+    let one_pos = session.scan(&ones);
+    scatter_split(values, flags, &zero_pos, &one_pos, &zeros)
+}
+
+/// The scatter half of the split primitive.
+fn scatter_split<T: Copy>(
+    values: &[T],
+    flags: &[bool],
+    zero_pos: &[i64],
+    one_pos: &[i64],
+    zeros: &[i64],
+) -> Vec<T> {
     let total_zeros = match (zero_pos.last(), zeros.last()) {
         (Some(&p), Some(&z)) => p + z,
         _ => 0,
     };
-    let ones: Vec<i64> = flags.iter().map(|&f| i64::from(f)).collect();
-    let one_pos = scanner.scan(&ones, &Sum, &ScanSpec::exclusive());
-
     let mut out = values.to_vec();
     for (i, &v) in values.iter().enumerate() {
         let dst = if flags[i] {
@@ -108,9 +136,15 @@ pub fn split<T: Copy>(values: &[T], flags: &[bool], scanner: &CpuScanner) -> Vec
 
 /// Sorts by repeatedly splitting on each key bit, least significant first.
 /// `w` split passes (each two scans over `n` elements) for `w`-bit keys —
-/// the classic scan-based radix sort.
+/// the classic scan-based radix sort. The scan engine is planned once and
+/// its resources reused across all `2w` scans ([`split_with`]).
 pub fn split_sort<T: RadixKey>(values: &mut Vec<T>) {
-    let scanner = CpuScanner::default();
+    let plan = ScanPlan::new(
+        ScanSpec::exclusive(),
+        Engine::auto(),
+        PlanHint::expected_len(values.len()),
+    );
+    let session = plan.session::<i64, _>(Sum);
     let significant = values
         .iter()
         .map(|v| 64 - v.to_radix_bits().leading_zeros())
@@ -121,7 +155,7 @@ pub fn split_sort<T: RadixKey>(values: &mut Vec<T>) {
             .iter()
             .map(|v| v.to_radix_bits() >> bit & 1 == 1)
             .collect();
-        *values = split(values, &flags, &scanner);
+        *values = split_with(values, &flags, &session);
     }
 }
 
@@ -182,6 +216,22 @@ mod tests {
         let scanner = CpuScanner::new(2).with_chunk_elems(2);
         let out = split(&values, &flags, &scanner);
         assert_eq!(out, vec![10, 32, 54, 21, 43, 65]);
+    }
+
+    #[test]
+    fn split_with_session_matches_split() {
+        let values = [10, 21, 32, 43, 54, 65];
+        let flags = [false, true, false, true, false, true];
+        let plan = ScanPlan::new(
+            ScanSpec::exclusive(),
+            Engine::Cpu(CpuScanner::new(2).with_chunk_elems(2)),
+            PlanHint::default(),
+        );
+        let session = plan.session::<i64, _>(Sum);
+        assert_eq!(
+            split_with(&values, &flags, &session),
+            vec![10, 32, 54, 21, 43, 65]
+        );
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //!   --orders LIST     comma-separated orders   (default 1,2,5,8)
 //!   --tuples LIST     comma-separated tuples   (default 1,2,5,8)
 //!   --sizes LIST      comma-separated log2 sizes, overrides --full/--quick
-//!   --engines LIST    comma-separated from serial,cpu (default both)
+//!   --engines LIST    comma-separated from serial,cpu,session (default serial,cpu)
+//!   --session-reuse   shorthand for --engines session: plan-once steady state
 //!   --min-time SECS   per-point time budget in seconds (default 0.25)
 //! ```
+//!
+//! The `session` engine measures the plan-once path: a `ScanPlan` is
+//! resolved and its `ScanSession` created once per configuration, outside
+//! the rep loop, and every repetition reuses the session's engine
+//! resources (`ScanSession::scan_into`) — the steady-state serving shape
+//! the plan layer exists for.
 //!
 //! Each configuration is measured with one warm-up run and repeated until
 //! either three timed repetitions or the per-point time budget is
@@ -24,6 +31,8 @@
 
 use sam_core::cpu::CpuScanner;
 use sam_core::op::Sum;
+use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
+use sam_core::scanner::Engine;
 use sam_core::{serial, ScanSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,7 +50,8 @@ struct Record {
 
 const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
                      [--orders LIST] [--tuples LIST] [--sizes LIST] \
-                     [--engines serial,cpu] [--min-time SECS]";
+                     [--engines serial,cpu,session] [--session-reuse] \
+                     [--min-time SECS]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -110,6 +120,7 @@ fn main() {
                     .map(str::to_owned)
                     .collect();
             }
+            "--session-reuse" => engines = vec!["session".into()],
             "--min-time" => {
                 let raw = value(&mut i, "--min-time");
                 budget_secs = raw.trim().parse().unwrap_or_else(|_| {
@@ -124,8 +135,10 @@ fn main() {
         i += 1;
     }
     for engine in &engines {
-        if engine != "serial" && engine != "cpu" {
-            usage_error(&format!("unknown engine {engine:?} (expected serial or cpu)"));
+        if engine != "serial" && engine != "cpu" && engine != "session" {
+            usage_error(&format!(
+                "unknown engine {engine:?} (expected serial, cpu or session)"
+            ));
         }
     }
     if engines.is_empty() {
@@ -166,14 +179,25 @@ fn main() {
                     .with_tuple(tuple)
                     .expect("valid tuple");
                 for engine in &engines {
+                    // Plan-once: resolved outside the rep loop, so every
+                    // timed repetition is pure steady-state execution.
+                    let session: Option<ScanSession<i64, Sum>> = (engine == "session")
+                        .then(|| {
+                            ScanPlan::new(
+                                spec,
+                                Engine::Cpu(cpu.clone()),
+                                PlanHint::expected_len(n),
+                            )
+                            .session(Sum)
+                        });
                     let mut best = f64::INFINITY;
                     let mut reps = 0u32;
                     let mut spent = 0.0;
                     // One untimed warm-up (page faults, branch history).
-                    run_once(engine, data, &mut out, &cpu, &spec);
+                    run_once(engine, data, &mut out, &cpu, session.as_ref(), &spec);
                     while reps < 3 || (spent < budget_secs && reps < rep_cap) {
                         let t = Instant::now();
-                        run_once(engine, data, &mut out, &cpu, &spec);
+                        run_once(engine, data, &mut out, &cpu, session.as_ref(), &spec);
                         let secs = t.elapsed().as_secs_f64();
                         best = best.min(secs);
                         spent += secs;
@@ -186,6 +210,7 @@ fn main() {
                         engine: match engine.as_str() {
                             "serial" => "serial",
                             "cpu" => "cpu",
+                            "session" => "session",
                             other => panic!("unknown engine {other}"),
                         },
                         n,
@@ -224,13 +249,21 @@ fn main() {
     eprintln!("wrote {out_path} ({} configurations)", records.len());
 }
 
-fn run_once(engine: &str, data: &[i64], out: &mut [i64], cpu: &CpuScanner, spec: &ScanSpec) {
+fn run_once(
+    engine: &str,
+    data: &[i64],
+    out: &mut [i64],
+    cpu: &CpuScanner,
+    session: Option<&ScanSession<i64, Sum>>,
+    spec: &ScanSpec,
+) {
     match engine {
         "serial" => {
             out.copy_from_slice(data);
             serial::scan_in_place(out, &Sum, spec);
         }
         "cpu" => cpu.scan_into(data, out, &Sum, spec),
+        "session" => session.expect("session built for this engine").scan_into(data, out),
         other => panic!("unknown engine {other}"),
     }
 }

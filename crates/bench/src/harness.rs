@@ -143,6 +143,11 @@ impl Harness {
     /// harness refuses to report numbers for an incorrect kernel.
     pub fn series(&self, cfg: &Config, sizes: &[u64]) -> Series {
         let mut points = Vec::with_capacity(sizes.len());
+        // One simulated device per series: constructing a Gpu per
+        // measurement threw away its buffers and metrics plumbing for every
+        // point. Per-measurement isolation comes from draining the counters
+        // (`take_metrics`) around each functional run instead.
+        let gpu = Gpu::new(cfg.device.clone());
         // SAM's chunk geometry (items per thread) is auto-tuned per problem
         // size; extrapolation probes must run with the *target* size's
         // geometry or the per-chunk overheads would be mis-scaled. Probes
@@ -171,7 +176,7 @@ impl Harness {
             let ipt = ipt_for(n);
             let p2 = self.functional_cap.max(steady_floor(ipt));
             let point = if n <= p2 {
-                self.measure(cfg, n, ipt).map(|m| (m, true))
+                self.measure(cfg, &gpu, n, ipt).map(|m| (m, true))
             } else {
                 let [lo, hi] = probes.entry(ipt).or_insert_with(|| {
                     // One full round of chunks between the probes keeps both
@@ -186,8 +191,8 @@ impl Harness {
                     };
                     let p1 = p2 - delta;
                     [
-                        (p1, self.measure(cfg, p1, ipt).expect("probe sizes are supported")),
-                        (p2, self.measure(cfg, p2, ipt).expect("probe sizes are supported")),
+                        (p1, self.measure(cfg, &gpu, p1, ipt).expect("probe sizes are supported")),
+                        (p2, self.measure(cfg, &gpu, p2, ipt).expect("probe sizes are supported")),
                     ]
                 });
                 if supports(cfg, n) {
@@ -227,15 +232,15 @@ impl Harness {
     /// Functionally executes `cfg` at size `n` (with SAM chunk geometry
     /// `ipt`, when given), returning the counts, or `None` if the algorithm
     /// refuses the size.
-    fn measure(&self, cfg: &Config, n: u64, ipt: Option<usize>) -> Option<Measurement> {
+    fn measure(&self, cfg: &Config, gpu: &Gpu, n: u64, ipt: Option<usize>) -> Option<Measurement> {
         match cfg.width {
             ElemWidth::I32 => {
                 let input = workload::uniform_i32(trimmed(cfg, n), 0x5eed + n);
-                self.measure_typed(cfg, &input, ipt)
+                self.measure_typed(cfg, gpu, &input, ipt)
             }
             ElemWidth::I64 => {
                 let input = workload::uniform_i64(trimmed(cfg, n), 0x5eed + n);
-                self.measure_typed(cfg, &input, ipt)
+                self.measure_typed(cfg, gpu, &input, ipt)
             }
         }
     }
@@ -243,10 +248,13 @@ impl Harness {
     fn measure_typed<T: ScanElement>(
         &self,
         cfg: &Config,
+        gpu: &Gpu,
         input: &[T],
         ipt: Option<usize>,
     ) -> Option<Measurement> {
-        let gpu = Gpu::new(cfg.device.clone());
+        // Drain any counts left by a previous measurement on the shared
+        // device, so this run's snapshot is exactly this run's counts.
+        let _ = gpu.take_metrics();
         let n = input.len();
         let spec = ScanSpec::inclusive()
             .with_order(cfg.order)
@@ -275,7 +283,7 @@ impl Harness {
                     iterated_orders: true,
                     ..SamParams::default()
                 };
-                let (out, info) = scan_on_gpu(&gpu, input, &Sum, &spec, &params);
+                let (out, info) = scan_on_gpu(gpu, input, &Sum, &spec, &params);
                 carry = info.carry_scheme();
                 output = Some(out);
             }
@@ -290,9 +298,9 @@ impl Harness {
                 };
                 let out = iterate_scan(input, cfg.order, |data| {
                     if cfg.tuple > 1 {
-                        scanner.scan_tuples(&gpu, data, &Sum, ScanKind::Inclusive, cfg.tuple)
+                        scanner.scan_tuples(gpu, data, &Sum, ScanKind::Inclusive, cfg.tuple)
                     } else {
-                        scanner.scan(&gpu, data, &Sum, &ScanSpec::inclusive())
+                        scanner.scan(gpu, data, &Sum, &ScanSpec::inclusive())
                     }
                 });
                 output = Some(out);
@@ -307,7 +315,7 @@ impl Harness {
                 carry = CarryScheme::None;
                 let mut refused = false;
                 let out = iterate_scan(input, cfg.order, |data| {
-                    match scanner.scan(&gpu, data, &Sum, &ScanSpec::inclusive()) {
+                    match scanner.scan(gpu, data, &Sum, &ScanSpec::inclusive()) {
                         Some(v) => v,
                         None => {
                             refused = true;
@@ -322,7 +330,7 @@ impl Harness {
             }
             Algo::Memcpy => {
                 carry = CarryScheme::None;
-                output = Some(memcpy_roof(&gpu, input));
+                output = Some(memcpy_roof(gpu, input));
             }
         }
 
@@ -337,7 +345,7 @@ impl Harness {
         }
 
         Some(Measurement {
-            metrics: gpu.metrics().snapshot(),
+            metrics: gpu.take_metrics(),
             carry,
         })
     }

@@ -38,7 +38,7 @@
 //!
 //! Every kernel is **bitwise identical** to the reference loops it
 //! replaces, for every element type. Reassociating fast paths are gated on
-//! [`ScanElement::EXACT_ASSOC`](crate::element::ScanElement::EXACT_ASSOC),
+//! [`crate::element::ScanElement::EXACT_ASSOC`],
 //! so floating-point scans keep the exact left-to-right association of the
 //! serial oracle — the deterministic-float property of Section 3.1 is
 //! preserved per engine, not just per run.

@@ -134,6 +134,13 @@ impl ScanSpec {
     pub fn is_first_order(&self) -> bool {
         self.order == 1
     }
+
+    /// Length of the per-scan lane-sum state, `order * tuple` — the size of
+    /// the `q x s` vector the carry algebra folds and
+    /// [`crate::plan::CarryState`] checkpoints.
+    pub fn lane_state_len(&self) -> usize {
+        self.order as usize * self.tuple
+    }
 }
 
 /// Error constructing a [`ScanSpec`].

@@ -170,6 +170,21 @@ impl CpuScanner {
         self.chunk_elems
     }
 
+    /// Current capacity of the shared arena as `(ready_slots, sum_slots)`.
+    ///
+    /// The arena is grow-only, so steady-state reuse of one scanner keeps
+    /// these numbers constant — regression tests use this to prove that
+    /// plan/session call sites are not rebuilding engines per call.
+    pub fn arena_capacity(&self) -> (usize, usize) {
+        match self.arena.lock() {
+            Ok(a) => (a.ready.len(), a.sums.len()),
+            Err(poisoned) => {
+                let a = poisoned.into_inner();
+                (a.ready.len(), a.sums.len())
+            }
+        }
+    }
+
     /// Scans `input` according to `spec` with operator `op`.
     pub fn scan<T, Op>(&self, input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
     where
@@ -213,7 +228,7 @@ impl CpuScanner {
         let q = spec.order() as usize;
         let s = spec.tuple();
         let exclusive = spec.kind() == ScanKind::Exclusive;
-        if q > 1 && op.supports_cascade() {
+        if crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade {
             // Single-pass protocol: all q*s local sums published from one
             // sweep, one ready round per chunk, binomial-weighted carries.
             self.scan_into_cascade(input, out, op, q, s, exclusive);

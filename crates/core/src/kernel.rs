@@ -204,8 +204,7 @@ where
     // lane distances are uniform.
     let single_pass = !params.iterated_orders
         && params.carry == CarryPropagation::Decoupled
-        && q > 1
-        && op.supports_cascade()
+        && crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade
         && chunk_elems.is_multiple_of(s);
     let carry_rounds = if single_pass { 1 } else { spec.order() };
 

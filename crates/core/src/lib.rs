@@ -45,6 +45,7 @@ pub mod cpu;
 pub mod element;
 pub mod kernel;
 pub mod op;
+pub mod plan;
 pub mod scanner;
 pub mod segmented;
 pub mod serial;
@@ -55,14 +56,27 @@ pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
 pub use op::ScanOp;
+pub use plan::{CarryState, CarryStateError, PlanHint, ScanPlan, ScanSession};
 pub use scanner::{auto_parallel_threshold, Engine, Scanner, AUTO_PARALLEL_THRESHOLD};
+
+/// The process-wide CPU engine behind the convenience entry points.
+///
+/// Built on first use and reused forever, so repeated [`scan`] calls share
+/// one worker configuration and one grow-only arena instead of paying an
+/// engine construction per call. Concurrent scans that contend on the
+/// arena fall back to scan-local buffers (see [`cpu::CpuScanner`]).
+fn shared_cpu() -> &'static cpu::CpuScanner {
+    static SHARED: std::sync::OnceLock<cpu::CpuScanner> = std::sync::OnceLock::new();
+    SHARED.get_or_init(cpu::CpuScanner::default)
+}
 
 /// Scans `input` according to `spec`, using the multi-threaded CPU engine
 /// for large inputs and the serial engine for small ones.
 ///
-/// This is the convenience entry point; use [`cpu::CpuScanner`] directly to
-/// control worker count and chunking, or [`kernel::scan_on_gpu`] to run on
-/// the simulated GPU.
+/// This is the convenience entry point; the parallel path reuses one
+/// process-wide [`cpu::CpuScanner`]. Use [`ScanPlan`] / [`ScanSession`]
+/// (or [`cpu::CpuScanner`] directly) to control worker count and chunking,
+/// stream inputs in batches, or run on the simulated GPU.
 pub fn scan<T, Op>(input: &[T], op: &Op, spec: &ScanSpec) -> Vec<T>
 where
     T: ScanElement,
@@ -71,7 +85,7 @@ where
     if input.len() < scanner::auto_parallel_threshold(spec.order(), spec.tuple()) {
         serial::scan(input, op, spec)
     } else {
-        cpu::CpuScanner::default().scan(input, op, spec)
+        shared_cpu().scan(input, op, spec)
     }
 }
 

@@ -1,0 +1,1064 @@
+//! Plan-once / scan-many execution layer over the three engines.
+//!
+//! Every engine in this workspace used to re-derive the same facts on
+//! every call: validate the [`ScanSpec`], pick the serial/parallel
+//! crossover, compute the chunk geometry, gate the single-pass cascade
+//! kernels on [`ChunkKernel::supports_cascade`], and (worst of all)
+//! construct a fresh [`CpuScanner`] or [`Gpu`] per invocation. This module
+//! separates **planning** from **execution**:
+//!
+//! * [`ScanPlan`] — an immutable, cheaply cloneable plan: the validated
+//!   spec plus every per-call decision resolved once (crossover threshold,
+//!   chunk geometry, engine resources). Plans own their engine resources —
+//!   the worker pool + grow-only arena for the CPU engine, the simulated
+//!   [`Gpu`] instance for the simulated engine — behind [`Arc`], so
+//!   clones and sessions share them.
+//! * [`ScanSession`] — a reusable execution handle created by
+//!   [`ScanPlan::session`]. Besides one-shot [`ScanSession::scan_into`],
+//!   it exposes a **streaming** API ([`ScanSession::feed`]) whose outputs
+//!   are bit-identical to the one-shot scan on the same plan, for data
+//!   arriving in batches of any size.
+//! * [`CarryState`] — the serializable `q x s` per-order, per-lane
+//!   lane-sum vector (the state the [`crate::carry`] algebra folds),
+//!   snapshotted by [`ScanSession::carry_state`] and restored by
+//!   [`ScanSession::resume`], so a stream can be checkpointed, shipped
+//!   across processes and continued.
+//!
+//! # Streaming equivalence
+//!
+//! [`ScanSession::feed`] reproduces the executing engine's association
+//! exactly, so concatenating the outputs of any batch partition equals the
+//! one-shot scan *bit for bit*:
+//!
+//! * operators admitting the cascade kernels (wrapping-integer sums; see
+//!   [`ChunkKernel::supports_cascade`]) carry a single `q x s` cascade
+//!   state — exact associativity makes every split point invisible;
+//! * other operators (floating-point sums, `Max`, ...) mirror the engine's
+//!   fold structure: the serial engine's continuous left fold, or the
+//!   chunked engines' `out = op(carry, local)` decomposition at the
+//!   engine's exact chunk geometry, with carries folded in chunk order
+//!   from the identity — the determinism contract of Section 3.1.
+//!
+//! Float caveats, documented rather than papered over: the chunked
+//! engines fold the identity into every chunk's carry, so feeding data
+//! containing `-0.0` can differ from the serial engine in the sign of
+//! zero (the engines themselves differ the same way); and an
+//! [`Engine::Auto`] plan whose crossover threshold exceeds the chunk size
+//! can one-shot through the serial engine at sizes the stream treats as
+//! chunked (with the default geometry the threshold is below one chunk,
+//! so this does not arise). Integer scans are exact everywhere.
+//!
+//! # Checkpoint format
+//!
+//! [`CarryState`] records the spec echo (kind/order/tuple), the number of
+//! elements consumed, and the `q x s` lane sums as `u64` bit patterns
+//! ([`Pod64::to_bits`]). [`CarryState::to_bytes`] gives a stable binary
+//! encoding (magic `SAMC`, version byte, little-endian fields) with
+//! [`CarryState::from_bytes`] as its inverse; the type also implements
+//! the workspace `serde::Serialize` for structured export. Resuming
+//! treats the checkpoint as a chunk boundary: exact at any element for
+//! integer operators, exact at engine chunk boundaries for floats.
+
+use std::sync::Arc;
+
+use crate::chunk_kernel::ChunkKernel;
+use crate::config::{ScanKind, ScanSpec};
+use crate::cpu::CpuScanner;
+use crate::kernel::{scan_on_gpu, SamParams};
+use crate::scanner::{auto_parallel_threshold, Engine};
+use gpu_sim::memory::contiguous_transactions;
+use gpu_sim::{AccessClass, Gpu, Pod64};
+
+/// Which kernel family a `(spec, operator)` pair executes — the gate every
+/// engine used to re-derive inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Single-pass order-`q` cascade kernels (`cascade_*`): one sweep with
+    /// a `q x s` state vector and binomial-weighted carries.
+    Cascade,
+    /// The iterated `q`-pass kernels (one strided pass per order).
+    Iterated,
+}
+
+/// Resolves the cascade-vs-iterated kernel selection for `op` and `spec`.
+///
+/// The cascade path requires an operator with exact weight application
+/// ([`ChunkKernel::supports_cascade`]) and only pays off past order 1;
+/// everything else takes the iterated path. All three engines now consult
+/// this single gate.
+pub fn kernel_path<T: Copy, Op: ChunkKernel<T>>(op: &Op, spec: &ScanSpec) -> KernelPath {
+    if spec.order() > 1 && op.supports_cascade() {
+        KernelPath::Cascade
+    } else {
+        KernelPath::Iterated
+    }
+}
+
+/// Optional tuning hints consumed by [`ScanPlan::new`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanHint {
+    /// Expected elements per scan or stream; pre-sizes session buffers so
+    /// the very first [`ScanSession::feed`] is allocation-free.
+    pub expected_len: Option<usize>,
+    /// Overrides the [`Engine::Auto`] serial/parallel crossover (elements);
+    /// ignored by the other engines.
+    pub threshold: Option<usize>,
+}
+
+impl PlanHint {
+    /// A hint declaring the expected elements per scan.
+    pub fn expected_len(n: usize) -> Self {
+        PlanHint {
+            expected_len: Some(n),
+            ..PlanHint::default()
+        }
+    }
+}
+
+/// The resolved execution target of a plan. Resources are `Arc`-shared so
+/// plan clones and sessions reuse one worker pool / arena / device.
+#[derive(Clone)]
+enum PlanExec {
+    Serial,
+    Cpu(Arc<CpuScanner>),
+    Auto {
+        threshold: usize,
+        cpu: Arc<CpuScanner>,
+    },
+    Gpu {
+        gpu: Arc<Gpu>,
+        params: SamParams,
+    },
+}
+
+impl std::fmt::Debug for PlanExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanExec::Serial => f.write_str("Serial"),
+            PlanExec::Cpu(cpu) => f.debug_tuple("Cpu").field(cpu).finish(),
+            PlanExec::Auto { threshold, cpu } => f
+                .debug_struct("Auto")
+                .field("threshold", threshold)
+                .field("cpu", cpu)
+                .finish(),
+            PlanExec::Gpu { gpu, params } => f
+                .debug_struct("Gpu")
+                .field("device", &gpu.spec().name)
+                .field("params", params)
+                .finish(),
+        }
+    }
+}
+
+/// An immutable scan plan: validated spec + resolved per-call decisions +
+/// owned engine resources. Construct once, scan many times.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::plan::{PlanHint, ScanPlan};
+/// use sam_core::{Engine, ScanSpec};
+/// use sam_core::op::Sum;
+///
+/// let plan = ScanPlan::new(
+///     ScanSpec::inclusive().with_order(2).unwrap(),
+///     Engine::cpu(4),
+///     PlanHint::default(),
+/// );
+/// let session = plan.session::<i64, _>(Sum);
+/// let out = session.scan(&[1, 2, 3, 4]);
+/// assert_eq!(out, vec![1, 4, 10, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanPlan {
+    spec: ScanSpec,
+    exec: PlanExec,
+    hint: PlanHint,
+}
+
+impl ScanPlan {
+    /// Resolves `engine` for `spec` into an immutable plan.
+    ///
+    /// This is where every per-call decision happens exactly once: the
+    /// [`Engine::Auto`] crossover threshold (from `hint`, the engine's own
+    /// override, or [`auto_parallel_threshold`]), the chunk geometry, and
+    /// the engine resources ([`Engine::Auto`] without a configured scanner
+    /// gets one default [`CpuScanner`] for the plan's lifetime;
+    /// [`Engine::Simulated`] gets one [`Gpu`]).
+    pub fn new(spec: ScanSpec, engine: Engine, hint: PlanHint) -> ScanPlan {
+        let exec = match engine {
+            Engine::Serial => PlanExec::Serial,
+            Engine::Cpu(cpu) => PlanExec::Cpu(Arc::new(cpu)),
+            Engine::Auto { threshold, cpu } => PlanExec::Auto {
+                threshold: hint
+                    .threshold
+                    .or(threshold)
+                    .unwrap_or_else(|| auto_parallel_threshold(spec.order(), spec.tuple())),
+                cpu: Arc::new(cpu.unwrap_or_default()),
+            },
+            Engine::Simulated { device, params } => PlanExec::Gpu {
+                gpu: Arc::new(Gpu::new(device)),
+                params,
+            },
+        };
+        ScanPlan { spec, exec, hint }
+    }
+
+    /// The plan's validated spec.
+    pub fn spec(&self) -> &ScanSpec {
+        &self.spec
+    }
+
+    /// The resolved serial/parallel crossover in elements (adaptive plans
+    /// only).
+    pub fn threshold(&self) -> Option<usize> {
+        match &self.exec {
+            PlanExec::Auto { threshold, .. } => Some(*threshold),
+            _ => None,
+        }
+    }
+
+    /// The plan-owned CPU engine, if this plan can execute on one
+    /// ([`Engine::Cpu`] and [`Engine::Auto`] plans).
+    pub fn cpu(&self) -> Option<&CpuScanner> {
+        match &self.exec {
+            PlanExec::Cpu(cpu) | PlanExec::Auto { cpu, .. } => Some(cpu),
+            _ => None,
+        }
+    }
+
+    /// The plan-owned simulated device ([`Engine::Simulated`] plans).
+    pub fn gpu(&self) -> Option<&Gpu> {
+        match &self.exec {
+            PlanExec::Gpu { gpu, .. } => Some(gpu),
+            _ => None,
+        }
+    }
+
+    /// The chunk size (elements) the plan's parallel engine partitions
+    /// inputs by: the CPU engine's configured chunking, or
+    /// `threads_per_block * items_per_thread` on the simulated device.
+    /// `None` for purely serial plans, which scan continuously.
+    pub fn chunk_elems(&self) -> Option<usize> {
+        match &self.exec {
+            PlanExec::Serial => None,
+            PlanExec::Cpu(cpu) | PlanExec::Auto { cpu, .. } => Some(cpu.chunk_elems()),
+            PlanExec::Gpu { gpu, params } => {
+                Some(gpu.spec().threads_per_block as usize * params.items_per_thread)
+            }
+        }
+    }
+
+    /// One-shot scan into a caller-provided buffer, reusing the plan's
+    /// engine resources — the single dispatch point all front-ends
+    /// ([`crate::scanner::Scanner`], sessions, the free [`crate::scan`])
+    /// now route through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != input.len()`.
+    pub fn scan_into<T, Op>(&self, input: &[T], out: &mut [T], op: &Op)
+    where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
+        assert_eq!(input.len(), out.len(), "output length must match input");
+        match &self.exec {
+            PlanExec::Serial => crate::serial::scan_into(input, out, op, &self.spec),
+            PlanExec::Cpu(cpu) => cpu.scan_into(input, out, op, &self.spec),
+            PlanExec::Auto { threshold, cpu } => {
+                if input.len() < *threshold {
+                    crate::serial::scan_into(input, out, op, &self.spec)
+                } else {
+                    cpu.scan_into(input, out, op, &self.spec)
+                }
+            }
+            PlanExec::Gpu { gpu, params } => {
+                let (result, _info) = scan_on_gpu(gpu, input, op, &self.spec, params);
+                out.copy_from_slice(&result);
+            }
+        }
+    }
+
+    /// Allocating convenience form of [`ScanPlan::scan_into`].
+    pub fn scan<T, Op>(&self, input: &[T], op: &Op) -> Vec<T>
+    where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
+        let mut out = vec![op.identity(); input.len()];
+        self.scan_into(input, &mut out, op);
+        out
+    }
+
+    /// Creates a reusable [`ScanSession`] executing this plan with `op`.
+    ///
+    /// Kernel selection ([`kernel_path`]) and the streaming fold structure
+    /// are resolved here, once — sessions never re-gate per batch.
+    pub fn session<T, Op>(&self, op: Op) -> ScanSession<T, Op>
+    where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
+        let q = self.spec.order() as usize;
+        let s = self.spec.tuple();
+        let qs = self.spec.lane_state_len();
+        let mode = if op.supports_cascade() {
+            // Exact carry algebra: one q x s cascade state, valid at any
+            // split point, identical across engines.
+            StreamMode::Cascade
+        } else {
+            match &self.exec {
+                PlanExec::Serial => StreamMode::Continuous,
+                PlanExec::Cpu(cpu) | PlanExec::Auto { cpu, .. } => {
+                    if cpu.workers() == 1 {
+                        StreamMode::Continuous
+                    } else {
+                        StreamMode::Chunked {
+                            chunk_elems: cpu.chunk_elems(),
+                        }
+                    }
+                }
+                PlanExec::Gpu { gpu, params } => StreamMode::Chunked {
+                    chunk_elems: gpu.spec().threads_per_block as usize * params.items_per_thread,
+                },
+            }
+        };
+        let local = match mode {
+            StreamMode::Chunked { .. } => vec![op.identity(); qs],
+            _ => Vec::new(),
+        };
+        let state = vec![op.identity(); qs];
+        let out_buf = Vec::with_capacity(self.hint.expected_len.unwrap_or(0));
+        ScanSession {
+            plan: self.clone(),
+            op,
+            q,
+            s,
+            exclusive: self.spec.kind() == ScanKind::Exclusive,
+            mode,
+            elements_seen: 0,
+            fresh_in_chunk: 0,
+            state,
+            local,
+            out_buf,
+        }
+    }
+}
+
+/// How a session folds a stream — resolved once at session creation to
+/// mirror the executing engine bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamMode {
+    /// Exact single-pass cascade state (`q x s`), any split point.
+    Cascade,
+    /// The serial engine's continuous left fold (also the CPU engine with
+    /// one worker).
+    Continuous,
+    /// The chunked protocol: per-chunk local folds plus carries folded in
+    /// chunk order from the identity, at the engine's chunk geometry.
+    Chunked {
+        /// Elements per chunk (the engine's partitioning).
+        chunk_elems: usize,
+    },
+}
+
+/// A reusable execution handle: one-shot scans plus resumable streaming.
+///
+/// Created by [`ScanPlan::session`]; owns the operator, shares the plan's
+/// engine resources, and keeps a grow-only output buffer so steady-state
+/// [`ScanSession::feed`] and repeated [`ScanSession::scan_into`] calls
+/// allocate nothing.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::plan::{PlanHint, ScanPlan};
+/// use sam_core::{Engine, ScanSpec};
+/// use sam_core::op::Sum;
+///
+/// let plan = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+/// let mut session = plan.session::<i64, _>(Sum);
+/// assert_eq!(session.feed(&[1, 2]), &[1, 3]);
+/// assert_eq!(session.feed(&[3, 4]), &[6, 10]); // continues the scan
+/// ```
+pub struct ScanSession<T: Pod64, Op: ChunkKernel<T>> {
+    plan: ScanPlan,
+    op: Op,
+    q: usize,
+    s: usize,
+    exclusive: bool,
+    mode: StreamMode,
+    /// Total elements consumed by `feed` since creation/reset/resume —
+    /// determines lane alignment and chunk-boundary positions.
+    elements_seen: u64,
+    /// Elements consumed since the last chunk boundary *or* resume point
+    /// (chunked mode): `< s` means "first of its lane in this chunk".
+    fresh_in_chunk: usize,
+    /// The `q x s` lane state: cascade state, continuous accumulators, or
+    /// chunk-ordered carries, by mode.
+    state: Vec<T>,
+    /// The `q x s` in-chunk local accumulators (chunked mode only).
+    local: Vec<T>,
+    /// Grow-only output buffer backing the slice returned by `feed`.
+    out_buf: Vec<T>,
+}
+
+impl<T: Pod64, Op: ChunkKernel<T>> std::fmt::Debug for ScanSession<T, Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanSession")
+            .field("spec", &self.plan.spec)
+            .field("mode", &self.mode)
+            .field("elements_seen", &self.elements_seen)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Pod64, Op: ChunkKernel<T>> ScanSession<T, Op> {
+    /// The plan this session executes.
+    pub fn plan(&self) -> &ScanPlan {
+        &self.plan
+    }
+
+    /// The session's spec.
+    pub fn spec(&self) -> &ScanSpec {
+        self.plan.spec()
+    }
+
+    /// Total elements consumed by [`ScanSession::feed`] since creation,
+    /// the last [`ScanSession::reset`], or as restored by
+    /// [`ScanSession::resume`].
+    pub fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    /// One-shot scan into a caller-provided buffer (independent of the
+    /// streaming state), dispatched through the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != input.len()`.
+    pub fn scan_into(&self, input: &[T], out: &mut [T]) {
+        self.plan.scan_into(input, out, &self.op);
+    }
+
+    /// Allocating convenience form of [`ScanSession::scan_into`].
+    pub fn scan(&self, input: &[T]) -> Vec<T> {
+        self.plan.scan(input, &self.op)
+    }
+
+    /// Clears the streaming state: the next [`ScanSession::feed`] starts a
+    /// new scan. Buffers are kept, so a reset session stays
+    /// allocation-free.
+    pub fn reset(&mut self) {
+        let id = self.op.identity();
+        self.state.fill(id);
+        self.local.fill(id);
+        self.elements_seen = 0;
+        self.fresh_in_chunk = 0;
+    }
+
+    /// Consumes the next `batch` of the stream and returns its scanned
+    /// outputs. Concatenating the outputs over any partition of an input
+    /// is bit-identical to the one-shot scan of that input on the same
+    /// plan (see the module docs for the float caveats).
+    ///
+    /// The returned slice borrows the session's grow-only buffer and is
+    /// valid until the next call.
+    pub fn feed(&mut self, batch: &[T]) -> &[T] {
+        let n = batch.len();
+        if self.out_buf.len() < n {
+            let id = self.op.identity();
+            self.out_buf.resize(n, id);
+        }
+        match self.mode {
+            StreamMode::Cascade => {
+                let base = (self.elements_seen % self.s as u64) as usize;
+                self.op.cascade_scan_from(
+                    batch,
+                    &mut self.out_buf[..n],
+                    base,
+                    self.s,
+                    &mut self.state,
+                    self.exclusive,
+                );
+                self.elements_seen += n as u64;
+            }
+            StreamMode::Continuous => self.feed_continuous(batch),
+            StreamMode::Chunked { chunk_elems } => self.feed_chunked(batch, chunk_elems),
+        }
+        if let PlanExec::Gpu { gpu, .. } = &self.plan.exec {
+            // The streaming path models the same global-memory behaviour as
+            // the one-shot kernel: every element is read once and written
+            // once, fully coalesced.
+            let m = gpu.metrics();
+            let tx = contiguous_transactions(n, std::mem::size_of::<T>());
+            m.add_read(AccessClass::Element, tx, n as u64);
+            m.add_write(AccessClass::Element, tx, n as u64);
+        }
+        &self.out_buf[..n]
+    }
+
+    /// The serial engine's association: per lane, order-1..q accumulators
+    /// advanced elementwise. Inclusive accumulators start from the lane's
+    /// first raw value (no identity fold, like `inclusive_from`); the
+    /// exclusive final order is an identity-seeded accumulator emitting its
+    /// pre-update value (like `exclusive_in_place`).
+    fn feed_continuous(&mut self, batch: &[T]) {
+        let s = self.s as u64;
+        let inc_orders = if self.exclusive { self.q - 1 } else { self.q };
+        let op = &self.op;
+        let state = &mut self.state;
+        let out = &mut self.out_buf;
+        let mut pos = self.elements_seen;
+        for (&x, o) in batch.iter().zip(out.iter_mut()) {
+            let lane = (pos % s) as usize;
+            let first = pos < s;
+            let mut v = x;
+            for i in 0..inc_orders {
+                let slot = &mut state[i * self.s + lane];
+                *slot = if first { v } else { op.combine(*slot, v) };
+                v = *slot;
+            }
+            if self.exclusive {
+                let slot = &mut state[(self.q - 1) * self.s + lane];
+                *o = *slot;
+                *slot = op.combine(*slot, v);
+            } else {
+                *o = v;
+            }
+            pos += 1;
+        }
+        self.elements_seen = pos;
+    }
+
+    /// The chunked engines' association: within a chunk, per-order local
+    /// accumulators start from the first raw value; outputs combine the
+    /// chunk carry with the local value (`apply_carry` / the last order's
+    /// `exclusive_rewrite`); at each chunk boundary every lane's carry
+    /// folds its local total (identity for lanes absent from the chunk),
+    /// in chunk order from the identity — exactly the multi-pass protocol
+    /// of the CPU and simulated engines.
+    fn feed_chunked(&mut self, batch: &[T], chunk_elems: usize) {
+        let s = self.s;
+        let q = self.q;
+        let inc_orders = if self.exclusive { q - 1 } else { q };
+        let mut pos = self.elements_seen;
+        for (idx, &x) in batch.iter().enumerate() {
+            if pos.is_multiple_of(chunk_elems as u64) && self.fresh_in_chunk > 0 {
+                self.fold_chunk();
+            }
+            let lane = (pos % s as u64) as usize;
+            let first = self.fresh_in_chunk < s;
+            let op = &self.op;
+            let state = &self.state;
+            let local = &mut self.local;
+            let mut v = x;
+            for i in 0..inc_orders {
+                let l = &mut local[i * s + lane];
+                *l = if first { v } else { op.combine(*l, v) };
+                v = op.combine(state[i * s + lane], *l);
+            }
+            let o = &mut self.out_buf[idx];
+            if self.exclusive {
+                let carry = state[(q - 1) * s + lane];
+                let l = &mut local[(q - 1) * s + lane];
+                *o = if first { carry } else { op.combine(carry, *l) };
+                *l = if first { v } else { op.combine(*l, v) };
+            } else {
+                *o = v;
+            }
+            self.fresh_in_chunk += 1;
+            pos += 1;
+        }
+        self.elements_seen = pos;
+    }
+
+    /// Folds the finished chunk's local totals into the carries (chunk
+    /// order, identity for absent lanes) and opens a new chunk.
+    fn fold_chunk(&mut self) {
+        let id = self.op.identity();
+        for (c, l) in self.state.iter_mut().zip(self.local.iter_mut()) {
+            *c = self.op.combine(*c, *l);
+            *l = id;
+        }
+        self.fresh_in_chunk = 0;
+    }
+
+    /// Snapshots the streaming carry state: the serializable `q x s`
+    /// lane-sum vector plus the stream position. Mid-chunk snapshots fold
+    /// the partial chunk as if it ended at the checkpoint — exact for
+    /// integer operators anywhere, exact for floats at engine chunk
+    /// boundaries (see the module docs).
+    pub fn carry_state(&self) -> CarryState {
+        let sums: Vec<u64> = match self.mode {
+            StreamMode::Chunked { .. } if self.fresh_in_chunk > 0 => self
+                .state
+                .iter()
+                .zip(self.local.iter())
+                .map(|(&c, &l)| self.op.combine(c, l).to_bits())
+                .collect(),
+            _ => self.state.iter().map(|&v| v.to_bits()).collect(),
+        };
+        let spec = self.plan.spec;
+        CarryState {
+            kind: spec.kind(),
+            order: spec.order(),
+            tuple: spec.tuple(),
+            elements_seen: self.elements_seen,
+            state: sums,
+        }
+    }
+
+    /// Restores a stream from a [`CarryState`] checkpoint: subsequent
+    /// [`ScanSession::feed`] calls continue the checkpointed scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarryStateError::SpecMismatch`] if the checkpoint was
+    /// taken under a different spec, or [`CarryStateError::BadLength`] if
+    /// its lane-sum vector does not match `order * tuple`.
+    pub fn resume(&mut self, checkpoint: &CarryState) -> Result<(), CarryStateError> {
+        let spec = self.plan.spec;
+        if checkpoint.kind != spec.kind()
+            || checkpoint.order != spec.order()
+            || checkpoint.tuple != spec.tuple()
+        {
+            return Err(CarryStateError::SpecMismatch {
+                expected: spec,
+                got: checkpoint.spec(),
+            });
+        }
+        if checkpoint.state.len() != spec.lane_state_len() {
+            return Err(CarryStateError::BadLength {
+                expected: spec.lane_state_len(),
+                got: checkpoint.state.len(),
+            });
+        }
+        for (slot, &bits) in self.state.iter_mut().zip(checkpoint.state.iter()) {
+            *slot = T::from_bits(bits);
+        }
+        let id = self.op.identity();
+        self.local.fill(id);
+        self.fresh_in_chunk = 0;
+        self.elements_seen = checkpoint.elements_seen;
+        Ok(())
+    }
+}
+
+/// A serializable streaming-scan checkpoint: the `q x s` per-order,
+/// per-lane lane-sum vector (the state the [`crate::carry`] algebra
+/// folds), the stream position, and an echo of the spec it belongs to.
+///
+/// Produced by [`ScanSession::carry_state`], consumed by
+/// [`ScanSession::resume`]; [`CarryState::to_bytes`] /
+/// [`CarryState::from_bytes`] give a stable binary encoding for
+/// persistence or transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarryState {
+    kind: ScanKind,
+    order: u32,
+    tuple: usize,
+    elements_seen: u64,
+    state: Vec<u64>,
+}
+
+/// Magic prefix of the [`CarryState`] binary encoding.
+const CARRY_MAGIC: &[u8; 4] = b"SAMC";
+/// Version byte of the [`CarryState`] binary encoding.
+const CARRY_VERSION: u8 = 1;
+
+impl CarryState {
+    /// The spec this checkpoint belongs to.
+    pub fn spec(&self) -> ScanSpec {
+        ScanSpec::new(self.kind, self.order, self.tuple)
+            .expect("carry state always echoes a validated spec")
+    }
+
+    /// Elements consumed before the checkpoint.
+    pub fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    /// The `q x s` lane sums as `u64` bit patterns
+    /// (`state[order_index * tuple + lane]`).
+    pub fn lane_sums(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Encodes the checkpoint into a stable, self-describing byte string:
+    /// `SAMC`, a version byte, then little-endian kind/order/tuple/
+    /// position/length/lane-sums.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 1 + 4 + 8 + 8 + 8 + 8 * self.state.len());
+        out.extend_from_slice(CARRY_MAGIC);
+        out.push(CARRY_VERSION);
+        out.push(match self.kind {
+            ScanKind::Inclusive => 0,
+            ScanKind::Exclusive => 1,
+        });
+        out.extend_from_slice(&self.order.to_le_bytes());
+        out.extend_from_slice(&(self.tuple as u64).to_le_bytes());
+        out.extend_from_slice(&self.elements_seen.to_le_bytes());
+        out.extend_from_slice(&(self.state.len() as u64).to_le_bytes());
+        for &w in &self.state {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a checkpoint produced by [`CarryState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CarryStateError`] describing the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CarryState, CarryStateError> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], CarryStateError> {
+            if bytes.len() < n {
+                return Err(CarryStateError::Truncated);
+            }
+            let (head, rest) = bytes.split_at(n);
+            *bytes = rest;
+            Ok(head)
+        }
+        let mut rest = bytes;
+        if take(&mut rest, 4)? != CARRY_MAGIC {
+            return Err(CarryStateError::BadMagic);
+        }
+        let version = take(&mut rest, 1)?[0];
+        if version != CARRY_VERSION {
+            return Err(CarryStateError::BadVersion(version));
+        }
+        let kind = match take(&mut rest, 1)?[0] {
+            0 => ScanKind::Inclusive,
+            1 => ScanKind::Exclusive,
+            k => return Err(CarryStateError::BadKind(k)),
+        };
+        let order = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
+        let tuple = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()) as usize;
+        let spec = ScanSpec::new(kind, order, tuple)
+            .map_err(|_| CarryStateError::BadLength {
+                expected: 0,
+                got: order as usize * tuple,
+            })?;
+        let elements_seen = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
+        let len = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()) as usize;
+        if len != spec.lane_state_len() {
+            return Err(CarryStateError::BadLength {
+                expected: spec.lane_state_len(),
+                got: len,
+            });
+        }
+        let mut state = Vec::with_capacity(len);
+        for _ in 0..len {
+            state.push(u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()));
+        }
+        if !rest.is_empty() {
+            return Err(CarryStateError::TrailingBytes(rest.len()));
+        }
+        Ok(CarryState {
+            kind,
+            order,
+            tuple,
+            elements_seen,
+            state,
+        })
+    }
+}
+
+serde::impl_serialize_struct!(CarryState {
+    kind,
+    order,
+    tuple,
+    elements_seen,
+    state
+});
+
+/// Error decoding or resuming a [`CarryState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarryStateError {
+    /// The byte string does not start with the `SAMC` magic.
+    BadMagic,
+    /// Unknown encoding version.
+    BadVersion(u8),
+    /// Unknown scan-kind byte.
+    BadKind(u8),
+    /// The byte string ended before the declared fields.
+    Truncated,
+    /// Unconsumed bytes after the declared fields.
+    TrailingBytes(usize),
+    /// The lane-sum vector length does not match `order * tuple`.
+    BadLength {
+        /// Expected `order * tuple` length.
+        expected: usize,
+        /// Length found in the checkpoint.
+        got: usize,
+    },
+    /// The checkpoint belongs to a different spec than the session.
+    SpecMismatch {
+        /// The session's spec.
+        expected: ScanSpec,
+        /// The checkpoint's spec echo.
+        got: ScanSpec,
+    },
+}
+
+impl std::fmt::Display for CarryStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CarryStateError::BadMagic => write!(f, "carry state missing SAMC magic"),
+            CarryStateError::BadVersion(v) => write!(f, "unsupported carry-state version {v}"),
+            CarryStateError::BadKind(k) => write!(f, "unknown scan-kind byte {k}"),
+            CarryStateError::Truncated => write!(f, "carry state truncated"),
+            CarryStateError::TrailingBytes(n) => {
+                write!(f, "carry state has {n} trailing bytes")
+            }
+            CarryStateError::BadLength { expected, got } => write!(
+                f,
+                "carry state lane-sum length {got} does not match order*tuple = {expected}"
+            ),
+            CarryStateError::SpecMismatch { expected, got } => write!(
+                f,
+                "carry state for {got:?} cannot resume a session for {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CarryStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Max, Sum};
+    use gpu_sim::DeviceSpec;
+
+    fn ints(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 37 % 23) - 11).collect()
+    }
+
+    fn floats(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 73 % 41) as f64) * 0.125 - 2.0).collect()
+    }
+
+    fn engines() -> Vec<Engine> {
+        vec![
+            Engine::Serial,
+            Engine::Cpu(CpuScanner::new(1).with_chunk_elems(64)),
+            Engine::Cpu(CpuScanner::new(3).with_chunk_elems(64)),
+            Engine::auto(),
+            Engine::Simulated {
+                device: DeviceSpec::k40(),
+                params: SamParams {
+                    items_per_thread: 2,
+                    ..SamParams::default()
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn kernel_path_gates_on_order_and_operator() {
+        let o2 = ScanSpec::inclusive().with_order(2).unwrap();
+        assert_eq!(kernel_path::<i64, _>(&Sum, &o2), KernelPath::Cascade);
+        assert_eq!(
+            kernel_path::<i64, _>(&Sum, &ScanSpec::inclusive()),
+            KernelPath::Iterated
+        );
+        assert_eq!(kernel_path::<i64, _>(&Max, &o2), KernelPath::Iterated);
+        assert_eq!(kernel_path::<f64, _>(&Sum, &o2), KernelPath::Iterated);
+    }
+
+    #[test]
+    fn plan_scan_matches_serial_on_every_engine() {
+        let input = ints(70_000);
+        let spec = ScanSpec::inclusive().with_order(2).unwrap();
+        let expect = crate::serial::scan(&input, &Sum, &spec);
+        for engine in engines() {
+            let plan = ScanPlan::new(spec, engine, PlanHint::default());
+            assert_eq!(plan.scan(&input, &Sum), expect, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn feed_in_batches_matches_one_shot_per_engine() {
+        let input = ints(10_000);
+        for spec in [
+            ScanSpec::inclusive(),
+            ScanSpec::exclusive().with_order(3).unwrap().with_tuple(4).unwrap(),
+        ] {
+            for engine in engines() {
+                let plan = ScanPlan::new(spec, engine, PlanHint::default());
+                let expect = plan.scan(&input, &Sum);
+                let mut session = plan.session::<i64, _>(Sum);
+                let mut got = Vec::new();
+                for batch in input.chunks(997) {
+                    got.extend_from_slice(session.feed(batch));
+                }
+                assert_eq!(got, expect, "{plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_feed_is_bit_exact_against_the_chunked_engine() {
+        let input = floats(9_000);
+        for workers in [1usize, 4] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let spec = ScanSpec::new(kind, 2, 3).unwrap();
+                let plan = ScanPlan::new(
+                    spec,
+                    Engine::Cpu(CpuScanner::new(workers).with_chunk_elems(128)),
+                    PlanHint::default(),
+                );
+                let expect = plan.scan(&input, &Sum);
+                let mut session = plan.session::<f64, _>(Sum);
+                let mut got = Vec::new();
+                for batch in input.chunks(301) {
+                    got.extend_from_slice(session.feed(batch));
+                }
+                let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, expect_bits, "workers={workers} kind={kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_feed_matches_one_shot() {
+        // A non-cascade integer operator exercises the generic chunked fold.
+        let input = ints(5_000);
+        let spec = ScanSpec::inclusive().with_tuple(2).unwrap();
+        let plan = ScanPlan::new(
+            spec,
+            Engine::Cpu(CpuScanner::new(3).with_chunk_elems(64)),
+            PlanHint::default(),
+        );
+        let expect = plan.scan(&input, &Max);
+        let mut session = plan.session::<i64, _>(Max);
+        let mut got = Vec::new();
+        for batch in input.chunks(173) {
+            got.extend_from_slice(session.feed(batch));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn carry_state_roundtrips_through_bytes() {
+        let spec = ScanSpec::exclusive().with_order(2).unwrap().with_tuple(3).unwrap();
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        session.feed(&ints(100));
+        let cs = session.carry_state();
+        let bytes = cs.to_bytes();
+        assert_eq!(CarryState::from_bytes(&bytes).unwrap(), cs);
+        assert_eq!(cs.lane_sums().len(), spec.lane_state_len());
+        assert_eq!(cs.elements_seen(), 100);
+        assert_eq!(cs.spec(), spec);
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        assert_eq!(CarryState::from_bytes(b"SAM"), Err(CarryStateError::Truncated));
+        assert_eq!(
+            CarryState::from_bytes(b"XXXX\x01\x00more"),
+            Err(CarryStateError::BadMagic)
+        );
+        let spec = ScanSpec::inclusive();
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        session.feed(&[1, 2, 3]);
+        let mut bytes = session.carry_state().to_bytes();
+        bytes[4] = 9; // version
+        assert_eq!(
+            CarryState::from_bytes(&bytes),
+            Err(CarryStateError::BadVersion(9))
+        );
+        let mut bytes = session.carry_state().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            CarryState::from_bytes(&bytes),
+            Err(CarryStateError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn resume_continues_bit_exactly_on_every_engine() {
+        let input = ints(8_000);
+        let spec = ScanSpec::inclusive().with_order(2).unwrap().with_tuple(2).unwrap();
+        for engine in engines() {
+            let plan = ScanPlan::new(spec, engine, PlanHint::default());
+            let expect = plan.scan(&input, &Sum);
+
+            let mut first = plan.session::<i64, _>(Sum);
+            let split = 3_333;
+            let mut got = first.feed(&input[..split]).to_vec();
+            let checkpoint = CarryState::from_bytes(&first.carry_state().to_bytes()).unwrap();
+            drop(first);
+
+            let mut second = plan.session::<i64, _>(Sum);
+            second.resume(&checkpoint).unwrap();
+            got.extend_from_slice(second.feed(&input[split..]));
+            assert_eq!(got, expect, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_spec_mismatch() {
+        let plan_a = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+        let plan_b = ScanPlan::new(
+            ScanSpec::inclusive().with_order(2).unwrap(),
+            Engine::Serial,
+            PlanHint::default(),
+        );
+        let mut a = plan_a.session::<i64, _>(Sum);
+        a.feed(&[1, 2, 3]);
+        let cs = a.carry_state();
+        let mut b = plan_b.session::<i64, _>(Sum);
+        assert!(matches!(
+            b.resume(&cs),
+            Err(CarryStateError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_scan() {
+        let plan = ScanPlan::new(
+            ScanSpec::inclusive(),
+            Engine::Cpu(CpuScanner::new(2).with_chunk_elems(32)),
+            PlanHint::default(),
+        );
+        let mut session = plan.session::<i64, _>(Sum);
+        let input = ints(200);
+        let expect = session.feed(&input).to_vec();
+        session.reset();
+        assert_eq!(session.elements_seen(), 0);
+        assert_eq!(session.feed(&input), &expect[..]);
+    }
+
+    #[test]
+    fn auto_plan_resolves_threshold_once() {
+        let spec = ScanSpec::inclusive().with_order(4).unwrap();
+        let plan = ScanPlan::new(spec, Engine::auto(), PlanHint::default());
+        assert_eq!(plan.threshold(), Some(auto_parallel_threshold(4, 1)));
+        let hinted = ScanPlan::new(
+            spec,
+            Engine::auto(),
+            PlanHint {
+                threshold: Some(42),
+                ..PlanHint::default()
+            },
+        );
+        assert_eq!(hinted.threshold(), Some(42));
+        assert!(plan.cpu().is_some());
+        assert!(plan.gpu().is_none());
+    }
+
+    #[test]
+    fn empty_feed_is_a_no_op() {
+        let plan = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        assert!(session.feed(&[]).is_empty());
+        assert_eq!(session.feed(&[5, 6]), &[5, 11]);
+    }
+}

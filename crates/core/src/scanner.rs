@@ -16,12 +16,15 @@
 //! # Ok::<(), sam_core::SpecError>(())
 //! ```
 
+use std::sync::OnceLock;
+
 use crate::chunk_kernel::ChunkKernel;
 use crate::config::{ScanKind, ScanSpec, SpecError};
 use crate::cpu::CpuScanner;
 use crate::element::ScanElement;
-use crate::kernel::{scan_on_gpu, SamParams};
-use gpu_sim::{DeviceSpec, Gpu};
+use crate::kernel::SamParams;
+use crate::plan::{PlanHint, ScanPlan};
+use gpu_sim::DeviceSpec;
 
 /// Crossover size (elements) below which [`Engine::Auto`] and
 /// [`crate::scan`] use the serial engine instead of the multi-threaded one.
@@ -88,6 +91,10 @@ pub enum Engine {
         /// Crossover size in elements; `None` derives it from the spec via
         /// [`auto_parallel_threshold`].
         threshold: Option<usize>,
+        /// CPU engine used above the threshold; `None` builds a default
+        /// one when the plan is resolved. A configured scanner (worker
+        /// count, chunk size, scheduler hooks) is honoured, not dropped.
+        cpu: Option<CpuScanner>,
     },
     /// The instrumented SAM kernel on a simulated device.
     Simulated {
@@ -107,7 +114,19 @@ impl Engine {
     /// The default adaptive engine, crossing over at the per-spec
     /// [`auto_parallel_threshold`].
     pub fn auto() -> Self {
-        Engine::Auto { threshold: None }
+        Engine::Auto {
+            threshold: None,
+            cpu: None,
+        }
+    }
+
+    /// An adaptive engine that uses the given configured CPU scanner above
+    /// the per-spec [`auto_parallel_threshold`].
+    pub fn auto_with(cpu: CpuScanner) -> Self {
+        Engine::Auto {
+            threshold: None,
+            cpu: Some(cpu),
+        }
     }
 
     /// A simulated Titan X with auto-tuned parameters.
@@ -120,10 +139,16 @@ impl Engine {
 }
 
 /// A configured scanner (spec + engine).
+///
+/// The first scan resolves the configuration into a cached [`ScanPlan`]
+/// (see [`Scanner::plan`]); subsequent scans reuse the plan's engine
+/// resources — no fresh worker pool, arena, or simulated device per call.
+/// Reconfiguring through any builder method clears the cache.
 #[derive(Debug, Clone)]
 pub struct Scanner {
     spec: ScanSpec,
     engine: Engine,
+    plan: OnceLock<ScanPlan>,
 }
 
 impl Default for Scanner {
@@ -131,6 +156,7 @@ impl Default for Scanner {
         Scanner {
             spec: ScanSpec::default(),
             engine: Engine::auto(),
+            plan: OnceLock::new(),
         }
     }
 }
@@ -156,6 +182,7 @@ impl Scanner {
     /// Returns [`SpecError`] for an invalid order.
     pub fn order(mut self, order: u32) -> Result<Self, SpecError> {
         self.spec = self.spec.with_order(order)?;
+        self.plan = OnceLock::new();
         Ok(self)
     }
 
@@ -166,18 +193,21 @@ impl Scanner {
     /// Returns [`SpecError`] for an invalid tuple size.
     pub fn tuple(mut self, tuple: usize) -> Result<Self, SpecError> {
         self.spec = self.spec.with_tuple(tuple)?;
+        self.plan = OnceLock::new();
         Ok(self)
     }
 
     /// Sets the kind.
     pub fn kind(mut self, kind: ScanKind) -> Self {
         self.spec = self.spec.with_kind(kind);
+        self.plan = OnceLock::new();
         self
     }
 
     /// Sets the engine.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self.plan = OnceLock::new();
         self
     }
 
@@ -186,30 +216,23 @@ impl Scanner {
         &self.spec
     }
 
-    /// Scans `input` with operator `op` on the configured engine.
+    /// The resolved [`ScanPlan`] for the current configuration, built on
+    /// first use and cached. The plan owns the engine resources, so every
+    /// scan through this scanner reuses one worker pool / arena / device.
+    pub fn plan(&self) -> &ScanPlan {
+        self.plan.get_or_init(|| {
+            ScanPlan::new(self.spec, self.engine.clone(), PlanHint::default())
+        })
+    }
+
+    /// Scans `input` with operator `op` on the configured engine, through
+    /// the cached plan.
     pub fn scan<T, Op>(&self, input: &[T], op: &Op) -> Vec<T>
     where
         T: ScanElement,
         Op: ChunkKernel<T>,
     {
-        match &self.engine {
-            Engine::Serial => crate::serial::scan(input, op, &self.spec),
-            Engine::Cpu(cpu) => cpu.scan(input, op, &self.spec),
-            Engine::Auto { threshold } => {
-                let threshold = threshold.unwrap_or_else(|| {
-                    auto_parallel_threshold(self.spec.order(), self.spec.tuple())
-                });
-                if input.len() < threshold {
-                    crate::serial::scan(input, op, &self.spec)
-                } else {
-                    CpuScanner::default().scan(input, op, &self.spec)
-                }
-            }
-            Engine::Simulated { device, params } => {
-                let gpu = Gpu::new(device.clone());
-                scan_on_gpu(&gpu, input, op, &self.spec, params).0
-            }
-        }
+        self.plan().scan(input, op)
     }
 }
 
@@ -264,8 +287,65 @@ mod tests {
     #[test]
     fn auto_threshold_behaviour_is_invisible() {
         let small = data(100);
-        let s = Scanner::inclusive().engine(Engine::Auto { threshold: Some(50) });
+        let s = Scanner::inclusive().engine(Engine::Auto {
+            threshold: Some(50),
+            cpu: None,
+        });
         assert_eq!(s.scan(&small, &Sum), crate::serial::prefix_sum(&small));
+    }
+
+    #[test]
+    fn auto_engine_reuses_resources_across_calls() {
+        // Regression: Engine::Auto used to construct a CpuScanner (fresh
+        // arena and all) on every parallel-path call. The cached plan must
+        // hold one scanner whose arena, once grown, never regrows.
+        // Two explicit workers so the parallel protocol engages even on
+        // single-core hosts (where a default scanner degenerates to serial).
+        let s = Scanner::inclusive()
+            .engine(Engine::auto_with(CpuScanner::new(2).with_chunk_elems(8192)));
+        let input = data(100_000); // well above the crossover
+        s.scan(&input, &Sum);
+        let cpu = s.plan().cpu().expect("auto plan owns a cpu engine");
+        let first = cpu.arena_capacity();
+        assert!(first.0 > 0, "parallel path must have used the plan arena");
+        for _ in 0..5 {
+            s.scan(&input, &Sum);
+        }
+        assert_eq!(s.plan().cpu().unwrap().arena_capacity(), first);
+        // And the plan itself is cached, not rebuilt per call.
+        assert!(std::ptr::eq(s.plan(), s.plan()));
+    }
+
+    #[test]
+    fn auto_honours_configured_cpu_scanner() {
+        // Regression: Engine::Auto silently dropped a user-configured
+        // CpuScanner and ran a default one above the threshold.
+        let s = Scanner::inclusive()
+            .engine(Engine::auto_with(CpuScanner::new(2).with_chunk_elems(4096)));
+        let cpu = s.plan().cpu().unwrap();
+        assert_eq!(cpu.workers(), 2);
+        assert_eq!(cpu.chunk_elems(), 4096);
+        let input = data(40_000);
+        assert_eq!(s.scan(&input, &Sum), crate::serial::prefix_sum(&input));
+        // The configured chunk size was actually exercised: 40_000 elements
+        // at 4096 per chunk grows the arena to >= 10 chunk slots.
+        assert!(s.plan().cpu().unwrap().arena_capacity().0 >= 10);
+    }
+
+    #[test]
+    fn simulated_engine_reuses_one_device() {
+        let s = Scanner::inclusive().engine(Engine::Simulated {
+            device: DeviceSpec::k40(),
+            params: SamParams {
+                items_per_thread: 2,
+                ..SamParams::default()
+            },
+        });
+        let input = data(5_000);
+        s.scan(&input, &Sum);
+        let gpu = s.plan().gpu().expect("simulated plan owns a device") as *const _;
+        s.scan(&input, &Sum);
+        assert!(std::ptr::eq(gpu, s.plan().gpu().unwrap()));
     }
 
     #[test]

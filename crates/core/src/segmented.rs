@@ -227,11 +227,66 @@ where
     }
 }
 
+/// Streaming segmented scan: packs one batch of `(head, value)` pairs,
+/// feeds it through a [`crate::plan::ScanSession`] over the pair
+/// transformation, and unpacks the inclusive outputs. Batching is
+/// invisible: feeding any partition of a sequence equals
+/// [`scan_serial`] over the whole sequence, and segments may span batch
+/// boundaries — the session's carry state holds the open segment's
+/// running pair.
+///
+/// The session must execute an *inclusive order-1 tuple-1* plan (the pair
+/// transformation composes with neither higher orders nor lanes).
+///
+/// # Panics
+///
+/// Panics if `values` and `heads` differ in length, or if the session's
+/// spec is not inclusive order-1 tuple-1.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::plan::{PlanHint, ScanPlan};
+/// use sam_core::segmented::{feed_segmented, SegmentedOp};
+/// use sam_core::op::Sum;
+/// use sam_core::{Engine, ScanSpec};
+///
+/// let plan = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+/// let mut session = plan.session(SegmentedOp::new(Sum));
+/// let a = feed_segmented(&mut session, &[1i32, 2], &[false, false]);
+/// let b = feed_segmented(&mut session, &[3, 4], &[false, true]); // segment continues, then restarts
+/// assert_eq!((a, b), (vec![1, 3], vec![6, 4]));
+/// ```
+pub fn feed_segmented<T, SegOp>(
+    session: &mut crate::plan::ScanSession<Packed32<T>, SegOp>,
+    values: &[T],
+    heads: &[bool],
+) -> Vec<T>
+where
+    T: Element32,
+    SegOp: crate::chunk_kernel::ChunkKernel<Packed32<T>>,
+{
+    assert_eq!(values.len(), heads.len(), "one head flag per value");
+    let spec = *session.spec();
+    assert!(
+        spec.is_first_order() && spec.tuple() == 1 && spec.kind() == ScanKind::Inclusive,
+        "segmented streaming requires an inclusive order-1 tuple-1 session"
+    );
+    let packed: Vec<Packed32<T>> = values
+        .iter()
+        .zip(heads)
+        .map(|(&v, &h)| Packed32::new(h, v))
+        .collect();
+    session.feed(&packed).iter().map(Packed32::value).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cpu::CpuScanner;
     use crate::op::{Max, Sum};
+    use crate::plan::{PlanHint, ScanPlan};
+    use crate::scanner::Engine;
 
     fn heads_every(n: usize, period: usize) -> Vec<bool> {
         (0..n).map(|i| i % period == 0).collect()
@@ -332,6 +387,40 @@ mod tests {
             scan_parallel(&values, &heads, &Max, ScanKind::Inclusive, &scanner),
             out
         );
+    }
+
+    #[test]
+    fn streaming_segmented_matches_serial_across_batches_and_engines() {
+        let n = 4_000;
+        let values: Vec<i32> = (0..n as i32).map(|i| i % 23 - 11).collect();
+        let heads = heads_every(n, 41);
+        let expect = scan_serial(&values, &heads, &Sum, ScanKind::Inclusive);
+        for engine in [
+            Engine::Serial,
+            Engine::Cpu(CpuScanner::new(3).with_chunk_elems(128)),
+        ] {
+            let plan = ScanPlan::new(crate::ScanSpec::inclusive(), engine, PlanHint::default());
+            let mut session = plan.session(SegmentedOp::new(Sum));
+            let mut got = Vec::new();
+            let mut i = 0;
+            // Irregular batch sizes, so segments straddle batch boundaries.
+            for batch in [7usize, 613, 1, 999, 2380] {
+                let end = (i + batch).min(n);
+                got.extend(feed_segmented(&mut session, &values[i..end], &heads[i..end]));
+                i = end;
+            }
+            assert_eq!(i, n);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inclusive order-1 tuple-1")]
+    fn streaming_segmented_rejects_higher_order_sessions() {
+        let spec = crate::ScanSpec::inclusive().with_order(2).unwrap();
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session(SegmentedOp::new(Sum));
+        feed_segmented(&mut session, &[1i32], &[true]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! These are the ground truth every parallel implementation in the
 //! workspace is validated against. They implement the full generalized
-//! specification — any [`ScanOp`], any order, any tuple size, inclusive or
+//! specification — any [`ScanOp`](crate::op::ScanOp), any order, any
+//! tuple size, inclusive or
 //! exclusive — with the obvious loops, mirroring the serial code in
 //! Section 1 of the paper:
 //!
@@ -62,7 +63,7 @@ const CASCADE_STATE_STACK: usize = 64;
 pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, spec: &ScanSpec) {
     let s = spec.tuple();
     let q = spec.order() as usize;
-    if q > 1 && op.supports_cascade() {
+    if crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade {
         // Single-pass fused reference: one sweep with a q x s state vector
         // (see `crate::carry`) instead of q full passes — bit-identical for
         // the exactly-associative operators the gate admits.
@@ -101,7 +102,7 @@ pub fn scan_into<T: Copy>(input: &[T], out: &mut [T], op: &impl ChunkKernel<T>, 
     assert_eq!(input.len(), out.len(), "output length must match input");
     let s = spec.tuple();
     let q = spec.order();
-    if q > 1 && op.supports_cascade() {
+    if crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade {
         // Single-pass fused cascade: input read once, output written once,
         // independent of order.
         let exclusive = spec.kind() == ScanKind::Exclusive;

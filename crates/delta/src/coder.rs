@@ -98,6 +98,22 @@ impl DeltaCodec {
 ///
 /// Returns [`CodecError`] on malformed input.
 pub fn decompress<T: IntElement>(bytes: &[u8]) -> Result<Vec<T>, CodecError> {
+    let (residuals, spec) = parse_residuals(bytes)?;
+    Ok(crate::decode::decode(&residuals, &spec))
+}
+
+/// Byte-decodes a [`DeltaCodec`] stream into its residuals and spec
+/// without running the decoding scan — the parse half of [`decompress`].
+///
+/// Callers that decode many streams (e.g. [`crate::stream`] frames) parse
+/// each body with this and feed the residuals through one reused
+/// [`crate::decode::StreamingDecoder`] instead of paying a scan-engine
+/// setup per stream.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input.
+pub fn parse_residuals<T: IntElement>(bytes: &[u8]) -> Result<(Vec<T>, ScanSpec), CodecError> {
     let mut buf = bytes;
     if buf.remaining() < 6 {
         return Err(CodecError::Truncated);
@@ -130,7 +146,7 @@ pub fn decompress<T: IntElement>(bytes: &[u8]) -> Result<Vec<T>, CodecError> {
     if buf.has_remaining() {
         return Err(CodecError::TrailingBytes(buf.remaining()));
     }
-    Ok(crate::decode::decode(&residuals, &spec))
+    Ok((residuals, spec))
 }
 
 /// Error decompressing a delta-coded stream.

@@ -8,6 +8,8 @@
 
 use sam_core::element::ScanElement;
 use sam_core::op::Sum;
+use sam_core::plan::{CarryState, CarryStateError, PlanHint, ScanPlan, ScanSession};
+use sam_core::scanner::Engine;
 use sam_core::ScanSpec;
 
 /// Decodes a difference sequence produced with the same `spec`
@@ -37,6 +39,92 @@ pub fn decode<T: ScanElement>(residuals: &[T], spec: &ScanSpec) -> Vec<T> {
 pub fn decode_serial<T: ScanElement>(residuals: &[T], spec: &ScanSpec) -> Vec<T> {
     let inclusive = spec.with_kind(sam_core::ScanKind::Inclusive);
     sam_core::serial::scan(residuals, &Sum, &inclusive)
+}
+
+/// A resumable streaming delta decoder: residual batches in, decoded
+/// values out, backed by a [`ScanSession`].
+///
+/// Where [`decode`] needs the whole residual sequence in memory, a
+/// `StreamingDecoder` consumes it in arbitrary batches —
+/// [`StreamingDecoder::feed`] returns each batch's decoded values,
+/// bit-identical to one-shot [`decode`] over the concatenation. The
+/// decoder's position is the serializable [`CarryState`] (the `q x s`
+/// lane-sum vector), so decoding can be checkpointed mid-stream with
+/// [`StreamingDecoder::checkpoint`] and continued — in another process,
+/// after a crash — with [`StreamingDecoder::resume`]. For the integer
+/// sums delta decoding uses, a checkpoint is exact at any element.
+///
+/// # Examples
+///
+/// ```
+/// use sam_delta::{encode::encode_iterated, decode::{decode, StreamingDecoder}};
+/// use sam_core::ScanSpec;
+///
+/// let spec = ScanSpec::inclusive().with_order(2).unwrap();
+/// let values: Vec<i64> = (0..1000).map(|i| i * i % 4001).collect();
+/// let residuals = encode_iterated(&values, &spec);
+///
+/// let mut decoder = StreamingDecoder::new(&spec);
+/// let mut out = Vec::new();
+/// for batch in residuals.chunks(300) {
+///     out.extend_from_slice(decoder.feed(batch));
+/// }
+/// assert_eq!(out, values);
+/// ```
+#[derive(Debug)]
+pub struct StreamingDecoder<T: ScanElement> {
+    session: ScanSession<T, Sum>,
+}
+
+impl<T: ScanElement> StreamingDecoder<T> {
+    /// Creates a decoder for `spec` on the default adaptive engine. The
+    /// spec's kind is ignored; decoding is always the inclusive scan.
+    pub fn new(spec: &ScanSpec) -> Self {
+        StreamingDecoder::with_engine(spec, Engine::auto())
+    }
+
+    /// Creates a decoder for `spec` executing on `engine`.
+    pub fn with_engine(spec: &ScanSpec, engine: Engine) -> Self {
+        let inclusive = spec.with_kind(sam_core::ScanKind::Inclusive);
+        let plan = ScanPlan::new(inclusive, engine, PlanHint::default());
+        StreamingDecoder {
+            session: plan.session(Sum),
+        }
+    }
+
+    /// The (inclusive) spec this decoder scans with.
+    pub fn spec(&self) -> &ScanSpec {
+        self.session.spec()
+    }
+
+    /// Decodes the next batch of residuals; the returned slice is valid
+    /// until the next call.
+    pub fn feed(&mut self, residuals: &[T]) -> &[T] {
+        self.session.feed(residuals)
+    }
+
+    /// Snapshots the decoder position as a serializable [`CarryState`].
+    pub fn checkpoint(&self) -> CarryState {
+        self.session.carry_state()
+    }
+
+    /// Restores the decoder from a [`StreamingDecoder::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarryStateError`] if the checkpoint belongs to a
+    /// different spec or is malformed.
+    pub fn resume(&mut self, checkpoint: &CarryState) -> Result<(), CarryStateError> {
+        self.session.resume(checkpoint)
+    }
+
+    /// Clears the decoder state: the next [`StreamingDecoder::feed`]
+    /// starts a fresh sequence. Buffers are kept, so decoding many
+    /// independent frames through one decoder allocates nothing in steady
+    /// state.
+    pub fn reset(&mut self) {
+        self.session.reset();
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +172,52 @@ mod tests {
         let spec = spec(2, 1);
         let residuals = encode_iterated(&values, &spec);
         assert_eq!(decode(&residuals, &spec), values);
+    }
+
+    #[test]
+    fn streaming_decoder_matches_one_shot_decode() {
+        let values = waveform(6000);
+        for (q, s) in [(1u32, 1usize), (3, 2), (2, 8)] {
+            let spec = spec(q, s);
+            let residuals = encode_iterated(&values, &spec);
+            let mut decoder = StreamingDecoder::new(&spec);
+            let mut out = Vec::new();
+            for batch in residuals.chunks(777) {
+                out.extend_from_slice(decoder.feed(batch));
+            }
+            assert_eq!(out, values, "q={q} s={s}");
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_checkpoint_resumes_in_a_new_decoder() {
+        let values = waveform(3000);
+        let spec = spec(2, 3);
+        let residuals = encode_iterated(&values, &spec);
+
+        let mut first = StreamingDecoder::new(&spec);
+        let mut out = first.feed(&residuals[..1234]).to_vec();
+        // Serialize the checkpoint as a second process would receive it.
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+
+        let restored = sam_core::plan::CarryState::from_bytes(&bytes).expect("well-formed");
+        let mut second = StreamingDecoder::new(&spec);
+        second.resume(&restored).expect("matching spec");
+        out.extend_from_slice(second.feed(&residuals[1234..]));
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn streaming_decoder_reset_reuses_for_independent_frames() {
+        let values = waveform(800);
+        let spec = spec(2, 1);
+        let residuals = encode_iterated(&values, &spec);
+        let mut decoder = StreamingDecoder::new(&spec);
+        for _ in 0..3 {
+            decoder.reset();
+            assert_eq!(decoder.feed(&residuals), &values[..]);
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! per frame a varint byte length followed by a standard [`DeltaCodec`]
 //! stream (each frame is self-describing, so mixed models are legal).
 
-use crate::coder::{decompress, CodecError, DeltaCodec};
+use crate::coder::{decompress, parse_residuals, CodecError, DeltaCodec};
+use crate::decode::StreamingDecoder;
 use crate::varint::{get_uvarint, put_uvarint};
 use bytes::Buf;
 use sam_core::element::IntElement;
@@ -149,9 +150,14 @@ impl<'a> StreamReader<'a> {
         decompress(self.frames[index])
     }
 
-    /// Decompresses the whole stream, frame-parallel: each frame decodes
-    /// on its own thread (and each frame's prefix sums run on the scan
-    /// engine).
+    /// Decompresses the whole stream: the byte decoding (varint parse +
+    /// unzigzag, the serial part) runs frame-parallel, then every frame's
+    /// residuals stream through **one** reused
+    /// [`StreamingDecoder`] session — the scan engine is planned once for
+    /// the stream, not per frame, and frames with the same spec share its
+    /// buffers ([`StreamingDecoder::reset`] between frames, since frames
+    /// are independent scans). Intra-frame scan parallelism comes from the
+    /// session's engine.
     ///
     /// # Errors
     ///
@@ -160,20 +166,32 @@ impl<'a> StreamReader<'a> {
     where
         T: IntElement,
     {
-        let results: Vec<Result<Vec<T>, CodecError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .frames
-                .iter()
-                .map(|body| scope.spawn(move || decompress::<T>(body)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("frame decoder does not panic"))
-                .collect()
-        });
+        let parsed: Vec<Result<(Vec<T>, sam_core::ScanSpec), CodecError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .frames
+                    .iter()
+                    .map(|body| scope.spawn(move || parse_residuals::<T>(body)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("frame parser does not panic"))
+                    .collect()
+            });
         let mut out = Vec::new();
-        for r in results {
-            out.extend(r?);
+        let mut decoder: Option<StreamingDecoder<T>> = None;
+        for r in parsed {
+            let (residuals, spec) = r?;
+            // Frames are self-describing, so mixed specs are legal; replan
+            // only when the spec actually changes (never, in practice).
+            let d = match decoder.as_mut() {
+                Some(d) if d.spec().order() == spec.order() && d.spec().tuple() == spec.tuple() => {
+                    d.reset();
+                    d
+                }
+                _ => decoder.insert(StreamingDecoder::new(&spec)),
+            };
+            out.extend_from_slice(d.feed(&residuals));
         }
         Ok(out)
     }

@@ -9,11 +9,11 @@
 //! operators, the multi-threaded CPU engine, and a fully instrumented run
 //! on the simulated GPU.
 
-use gpu_sim::{DeviceSpec, Gpu};
-use sam_core::cpu::CpuScanner;
-use sam_core::kernel::{scan_on_gpu, SamParams};
+use gpu_sim::DeviceSpec;
+use sam_core::kernel::SamParams;
 use sam_core::op::{Max, Sum};
-use sam_core::ScanSpec;
+use sam_core::plan::{PlanHint, ScanPlan};
+use sam_core::{Engine, ScanSpec};
 
 fn main() {
     // --- 1. Conventional prefix sums -----------------------------------
@@ -41,38 +41,46 @@ fn main() {
     let running_max = sam_core::scan(&[3i64, 1, 4, 1, 5, 9, 2, 6], &Max, &ScanSpec::inclusive());
     println!("max scan    : {running_max:?}");
 
-    // --- 5. The multi-threaded CPU engine --------------------------------
+    // --- 5. The multi-threaded CPU engine, planned once ------------------
     // Persistent workers, circular carry buffers, ready flags — the SAM
-    // protocol on host threads.
+    // protocol on host threads. A `ScanPlan` resolves the engine once;
+    // the session reuses its worker pool and arena on every call.
     let big: Vec<i64> = (0..2_000_000).map(|i| i % 1000 - 500).collect();
-    let scanner = CpuScanner::default();
+    let plan = ScanPlan::new(
+        ScanSpec::inclusive(),
+        Engine::auto(),
+        PlanHint::expected_len(big.len()),
+    );
+    let session = plan.session::<i64, _>(Sum);
     let start = std::time::Instant::now();
-    let scanned = scanner.scan(&big, &Sum, &ScanSpec::inclusive());
+    let scanned = session.scan(&big);
     println!(
         "CPU engine  : {} elements with {} workers in {:.1} ms (last = {})",
         big.len(),
-        scanner.workers(),
+        plan.cpu().expect("adaptive plan owns a CPU engine").workers(),
         start.elapsed().as_secs_f64() * 1e3,
         scanned.last().expect("non-empty")
     );
 
     // --- 6. The simulated GPU, fully instrumented ------------------------
-    let gpu = Gpu::new(DeviceSpec::titan_x());
+    // Plans own their device too: every scan through this plan reuses one
+    // simulated GPU and accumulates onto its metrics.
     let input: Vec<i32> = (0..1 << 18).map(|i| i % 17 - 8).collect();
-    let (out, info) = scan_on_gpu(
-        &gpu,
-        &input,
-        &Sum,
-        &ScanSpec::inclusive().with_order(3).expect("valid order"),
-        &SamParams::default(),
+    let gpu_plan = ScanPlan::new(
+        ScanSpec::inclusive().with_order(3).expect("valid order"),
+        Engine::Simulated {
+            device: DeviceSpec::titan_x(),
+            params: SamParams::default(),
+        },
+        PlanHint::expected_len(input.len()),
     );
+    let out = gpu_plan.scan(&input, &Sum);
+    let gpu = gpu_plan.gpu().expect("simulated plan owns a device");
     let counts = gpu.metrics().snapshot();
     println!(
-        "GPU kernel  : order-3 scan of {} words on {} ({} persistent blocks, {} chunks)",
+        "GPU kernel  : order-3 scan of {} words on {}",
         out.len(),
         gpu.spec().name,
-        info.k,
-        info.chunks
     );
     println!(
         "              element words moved: {} (communication-optimal 2n = {})",
@@ -80,4 +88,7 @@ fn main() {
         2 * input.len()
     );
     assert_eq!(counts.elem_words(), 2 * input.len() as u64);
+
+    // Streaming scans — batches, checkpoints, resume — are the subject of
+    // `examples/streaming.rs`.
 }

@@ -8,7 +8,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sam_core::cpu::CpuScanner;
-use sam_core::op::Sum;
+use sam_core::op::{Max, Sum};
+use sam_core::plan::{PlanHint, ScanPlan};
+use sam_core::scanner::Engine;
 use sam_core::ScanSpec;
 
 struct CountingAlloc;
@@ -82,4 +84,68 @@ fn scan_into_does_not_allocate_per_chunk() {
         "allocations scale with chunk count: {allocs_few} for 2 chunks, \
          {allocs_many} for 2048 chunks"
     );
+}
+
+/// Plan-once sessions are allocation-free in steady state: after the
+/// `PlanHint`-sized output buffer exists, `feed` allocates nothing in any
+/// stream mode (cascade, continuous, chunked), and one-shot
+/// `ScanSession::scan_into` on a warmed single-worker plan allocates
+/// nothing either.
+#[test]
+fn session_steady_state_is_allocation_free() {
+    let spec = ScanSpec::inclusive().with_order(2).unwrap().with_tuple(3).unwrap();
+    let input: Vec<i64> = (0..32_768).map(|i| (i % 613) - 300).collect();
+
+    // Cascade mode (integer sums, serial engine). The hint pre-sizes the
+    // output buffer, so even the *first* feed is allocation-free.
+    let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::expected_len(input.len()));
+    let mut cascade = plan.session::<i64, _>(Sum);
+    let first = allocs_during(|| {
+        let _ = cascade.feed(&input);
+    });
+    assert_eq!(first, 0, "hinted first feed must be allocation-free");
+    let steady = allocs_during(|| {
+        for _ in 0..4 {
+            cascade.reset();
+            let _ = cascade.feed(&input[..10_000]);
+            let _ = cascade.feed(&input[10_000..]);
+        }
+    });
+    assert_eq!(steady, 0, "cascade-mode feed steady state must be allocation-free");
+
+    // Continuous and chunked modes (Max has no cascade weights). The
+    // chunked fold runs in the session, not on the workers, so it is
+    // strictly allocation-free too.
+    for eng in [
+        Engine::Cpu(CpuScanner::new(1)),
+        Engine::Cpu(CpuScanner::new(3).with_chunk_elems(256)),
+    ] {
+        let plan = ScanPlan::new(spec, eng, PlanHint::expected_len(input.len()));
+        let mut session = plan.session::<i64, _>(Max);
+        let _ = session.feed(&input); // warm-up
+        session.reset();
+        let steady = allocs_during(|| {
+            for _ in 0..4 {
+                session.reset();
+                for batch in input.chunks(1111) {
+                    let _ = session.feed(batch);
+                }
+            }
+        });
+        assert_eq!(steady, 0, "feed steady state must be allocation-free");
+    }
+
+    // One-shot scans through a session reuse the plan's engine: the
+    // single-worker CPU path needs no scratch once `out` exists.
+    let plan = ScanPlan::new(spec, Engine::Cpu(CpuScanner::new(1)), PlanHint::default());
+    let session = plan.session::<i64, _>(Sum);
+    let mut out = vec![0i64; input.len()];
+    session.scan_into(&input, &mut out); // warm-up
+    let one_shot = allocs_during(|| {
+        for _ in 0..5 {
+            session.scan_into(&input, &mut out);
+        }
+    });
+    assert_eq!(one_shot, 0, "session scan_into steady state must be allocation-free");
+    assert_eq!(out, sam_core::serial::scan(&input, &Sum, &spec));
 }

@@ -311,6 +311,33 @@ fn metrics_snapshot_serializes_all_counters() {
 }
 
 #[test]
+fn carry_state_serializes_checkpoint_fields() {
+    use sam_core::op::Sum;
+    use sam_core::plan::{PlanHint, ScanPlan};
+    use sam_core::Engine;
+
+    let spec = ScanSpec::inclusive().with_order(2).unwrap().with_tuple(2).unwrap();
+    let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+    let mut session = plan.session::<i64, _>(Sum);
+    session.feed(&[1, 2, 3, 4, 5]);
+    let checkpoint = session.carry_state();
+    assert_stable(&checkpoint);
+    let tree::Value::Map(m) = tree::to_value(&checkpoint).expect("serializes") else {
+        panic!("carry state should serialize as a map");
+    };
+    assert_eq!(m.get("kind"), Some(&tree::Value::Str("Inclusive".into())));
+    assert_eq!(m.get("order"), Some(&tree::Value::U64(2)));
+    assert_eq!(m.get("tuple"), Some(&tree::Value::U64(2)));
+    assert_eq!(m.get("elements_seen"), Some(&tree::Value::U64(5)));
+    match m.get("state") {
+        Some(tree::Value::Seq(lanes)) => {
+            assert_eq!(lanes.len(), 4, "order * tuple lane sums");
+        }
+        other => panic!("state should serialize as a sequence, got {other:?}"),
+    }
+}
+
+#[test]
 fn scan_spec_serializes_kind_order_tuple() {
     let spec = ScanSpec::exclusive().with_order(3).unwrap().with_tuple(5).unwrap();
     assert_stable(&spec);
