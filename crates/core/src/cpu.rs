@@ -32,6 +32,7 @@
 use crate::chunk_kernel::ChunkKernel;
 use crate::chunkops;
 use crate::config::{ScanKind, ScanSpec};
+use crate::obs::{self, Phase, TraceSink};
 use gpu_sim::sched::{self, HookPoint};
 use gpu_sim::{Pod64, Scheduler};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +66,10 @@ pub struct CpuScanner {
     /// set, every worker's ready-counter publish and wait probe becomes an
     /// injection / recording / replay point.
     sched: Option<Arc<Scheduler>>,
+    /// Optional observability sink ([`crate::obs`]): when set, workers
+    /// record per-chunk phase spans and the scan charges its element
+    /// traffic. `None` costs one branch per hook site.
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// Reusable backing store for the per-chunk sum slots and ready counters.
@@ -98,6 +103,7 @@ impl Clone for CpuScanner {
             chunk_elems: self.chunk_elems,
             arena: Mutex::new(Arena::default()),
             sched: self.sched.clone(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -108,6 +114,7 @@ impl std::fmt::Debug for CpuScanner {
             .field("workers", &self.workers)
             .field("chunk_elems", &self.chunk_elems)
             .field("sched", &self.sched.is_some())
+            .field("trace", &self.trace.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -121,6 +128,7 @@ impl Default for CpuScanner {
             chunk_elems: 32 * 1024,
             arena: Mutex::new(Arena::default()),
             sched: None,
+            trace: None,
         }
     }
 }
@@ -157,6 +165,17 @@ impl CpuScanner {
     /// and the `sched_stress` sweep.
     pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Attaches an observability sink ([`crate::obs::TraceSink`]):
+    /// subsequent scans record per-chunk phase spans (kernel execution,
+    /// carry publish/wait/apply), feed the carry-wait histogram, and charge
+    /// their element traffic to the sink's metrics. Normally wired up by
+    /// [`crate::plan::ScanPlan::new`] on traced plans; clones keep the
+    /// sink.
+    pub fn with_trace_sink(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -216,12 +235,20 @@ impl CpuScanner {
         if n == 0 {
             return;
         }
+        if let Some(sink) = &self.trace {
+            // One communication-optimal pass, charged at whole-array
+            // granularity so transaction counts stay order-independent
+            // (see `obs::charge_elem_pass`). Covers all three paths below.
+            obs::charge_elem_pass(sink.metrics(), n, std::mem::size_of::<T>());
+        }
         let num_chunks = chunkops::num_chunks(n, self.chunk_elems);
         let k = self.workers.min(num_chunks);
         if k == 1 {
             // Single worker: the fused serial kernels, reading the input
             // exactly once and writing only `out`.
-            crate::serial::scan_into(input, out, op, spec);
+            obs::timed(self.trace.as_deref(), 0, 0, Phase::ChunkScan, || {
+                crate::serial::scan_into(input, out, op, spec)
+            });
             return;
         }
 
@@ -260,11 +287,13 @@ impl CpuScanner {
 
         let cancel = Arc::new(AtomicBool::new(false));
         let sched = self.sched.clone();
+        let trace = self.trace.clone();
         let payload = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
             for b in 0..k {
                 let out_ptr = &out_ptr;
                 let sched = sched.clone();
+                let trace = trace.clone();
                 let cancel = Arc::clone(&cancel);
                 handles.push(scope.spawn(move || {
                     // The guard raises `cancel` if this worker panics, so
@@ -272,6 +301,7 @@ impl CpuScanner {
                     // this worker will never bump unwind cooperatively
                     // instead of spinning forever.
                     let _guard = sched::enter_block(b, k, sched, Arc::clone(&cancel));
+                    let sink = trace.as_deref();
                     // Per-worker lane scratch, allocated once per scan:
                     // carry/totals of this block's previous chunk per
                     // iteration (flattened `q * s`), plus the working
@@ -296,56 +326,65 @@ impl CpuScanner {
                             // Local strided scan + per-lane totals. The
                             // first iteration reads the input in the same
                             // pass that writes the output chunk.
-                            if iter == 0 {
-                                op.scan_chunk_from(&input[range.clone()], chunk, base, s, &mut totals);
-                            } else {
-                                op.scan_chunk_in_place(chunk, base, s, &mut totals);
-                            }
+                            obs::timed(sink, b, c as u64, Phase::ChunkScan, || {
+                                if iter == 0 {
+                                    op.scan_chunk_from(&input[range.clone()], chunk, base, s, &mut totals);
+                                } else {
+                                    op.scan_chunk_in_place(chunk, base, s, &mut totals);
+                                }
+                            });
 
                             // Publish local sums, release the ready counter.
-                            for (lane, &t) in totals.iter().enumerate() {
-                                sums[sum_idx(c, iter, lane)].store(t.to_bits(), Ordering::Relaxed);
-                            }
-                            sched::with_hook(HookPoint::FlagStore { idx: c }, || {
-                                ready[c].store((iter + 1) as u64, Ordering::Release);
+                            obs::timed(sink, b, c as u64, Phase::CarryPublish, || {
+                                for (lane, &t) in totals.iter().enumerate() {
+                                    sums[sum_idx(c, iter, lane)].store(t.to_bits(), Ordering::Relaxed);
+                                }
+                                sched::with_hook(HookPoint::FlagStore { idx: c }, || {
+                                    ready[c].store((iter + 1) as u64, Ordering::Release);
+                                });
                             });
 
                             // Gather predecessors (Figure 2): start from the
                             // carry + local sums this worker produced `k`
                             // chunks ago, then fold the `k - 1` in between.
                             let first_pred = c.saturating_sub(k - 1);
-                            if c >= k {
-                                for l in 0..s {
-                                    carry[l] = op.combine(
-                                        prev_carry[iter * s + l],
-                                        prev_totals[iter * s + l],
-                                    );
+                            obs::timed(sink, b, c as u64, Phase::CarryWait, || {
+                                if c >= k {
+                                    for l in 0..s {
+                                        carry[l] = op.combine(
+                                            prev_carry[iter * s + l],
+                                            prev_totals[iter * s + l],
+                                        );
+                                    }
+                                } else {
+                                    for slot in carry.iter_mut() {
+                                        *slot = op.identity();
+                                    }
                                 }
-                            } else {
-                                for slot in carry.iter_mut() {
-                                    *slot = op.identity();
+                                for j in first_pred..c {
+                                    wait_for(&ready[j], (iter + 1) as u64, j, &cancel);
+                                    for (l, slot) in carry.iter_mut().enumerate() {
+                                        let v = T::from_bits(
+                                            sums[sum_idx(j, iter, l)].load(Ordering::Relaxed),
+                                        );
+                                        *slot = op.combine(*slot, v);
+                                    }
                                 }
-                            }
-                            for j in first_pred..c {
-                                wait_for(&ready[j], (iter + 1) as u64, j, &cancel);
-                                for (l, slot) in carry.iter_mut().enumerate() {
-                                    let v = T::from_bits(
-                                        sums[sum_idx(j, iter, l)].load(Ordering::Relaxed),
-                                    );
-                                    *slot = op.combine(*slot, v);
-                                }
-                            }
+                            });
 
                             prev_totals[iter * s..iter * s + s].copy_from_slice(&totals);
                             prev_carry[iter * s..iter * s + s].copy_from_slice(&carry);
 
-                            if iter + 1 == q && exclusive {
-                                // The chunk holds its pre-carry local scan;
-                                // rewrite it into exclusive outputs in place.
-                                op.exclusive_rewrite(chunk, base, &carry);
-                            } else {
-                                op.apply_carry(chunk, base, &carry);
-                            }
+                            obs::timed(sink, b, c as u64, Phase::CarryApply, || {
+                                if iter + 1 == q && exclusive {
+                                    // The chunk holds its pre-carry local
+                                    // scan; rewrite it into exclusive
+                                    // outputs in place.
+                                    op.exclusive_rewrite(chunk, base, &carry);
+                                } else {
+                                    op.apply_carry(chunk, base, &carry);
+                                }
+                            });
                         }
 
                         c += k;
@@ -402,7 +441,9 @@ impl CpuScanner {
         let num_chunks = chunkops::num_chunks(n, chunk_elems);
         let k = self.workers.min(num_chunks);
         if k == 1 {
-            crate::serial::scan_into(input, out, op, &spec_of(q, s, exclusive));
+            obs::timed(self.trace.as_deref(), 0, 0, Phase::ChunkScan, || {
+                crate::serial::scan_into(input, out, op, &spec_of(q, s, exclusive))
+            });
             return;
         }
         let lane_elems = (chunk_elems / s) as u64;
@@ -430,16 +471,19 @@ impl CpuScanner {
 
         let cancel = Arc::new(AtomicBool::new(false));
         let sched = self.sched.clone();
+        let trace = self.trace.clone();
         let payload = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
             for b in 0..k {
                 let out_ptr = &out_ptr;
                 let sched = sched.clone();
+                let trace = trace.clone();
                 let cancel = Arc::clone(&cancel);
                 handles.push(scope.spawn(move || {
                     // Same cancellation discipline as `scan_into`: a panic
                     // here raises `cancel` for siblings stuck in `wait_for`.
                     let _guard = sched::enter_block(b, k, sched, Arc::clone(&cancel));
+                    let sink = trace.as_deref();
                     let plan = crate::carry::CarryPlan::new(op, q, lane_elems, k);
                     // Working seed state, this worker's previous chunk's
                     // end state, the publish-sweep totals, and a
@@ -462,40 +506,48 @@ impl CpuScanner {
                         };
 
                         // Sweep 1: local per-order totals, published once.
-                        for t in totals.iter_mut() {
-                            *t = op.identity();
-                        }
-                        op.cascade_totals(src, base, s, &mut totals);
-                        let sum_base = c * qs;
-                        for (i, &t) in totals.iter().enumerate() {
-                            sums[sum_base + i].store(t.to_bits(), Ordering::Relaxed);
-                        }
-                        sched::with_hook(HookPoint::FlagStore { idx: c }, || {
-                            ready[c].store(1, Ordering::Release);
+                        obs::timed(sink, b, c as u64, Phase::ChunkScan, || {
+                            for t in totals.iter_mut() {
+                                *t = op.identity();
+                            }
+                            op.cascade_totals(src, base, s, &mut totals);
+                        });
+                        obs::timed(sink, b, c as u64, Phase::CarryPublish, || {
+                            let sum_base = c * qs;
+                            for (i, &t) in totals.iter().enumerate() {
+                                sums[sum_base + i].store(t.to_bits(), Ordering::Relaxed);
+                            }
+                            sched::with_hook(HookPoint::FlagStore { idx: c }, || {
+                                ready[c].store(1, Ordering::Release);
+                            });
                         });
 
                         // Assemble the seed state (one carry round).
-                        if c >= k {
-                            state.copy_from_slice(&own_end);
-                            plan.advance(op, k - 1, &mut state, s);
-                        } else {
-                            for v in state.iter_mut() {
-                                *v = op.identity();
+                        obs::timed(sink, b, c as u64, Phase::CarryWait, || {
+                            if c >= k {
+                                state.copy_from_slice(&own_end);
+                                plan.advance(op, k - 1, &mut state, s);
+                            } else {
+                                for v in state.iter_mut() {
+                                    *v = op.identity();
+                                }
                             }
-                        }
-                        let first_pred = c.saturating_sub(k - 1);
-                        for (p, flag) in ready.iter().enumerate().take(c).skip(first_pred) {
-                            wait_for(flag, 1, p, &cancel);
-                            let pb = p * qs;
-                            for (i, slot) in pred.iter_mut().enumerate() {
-                                *slot = T::from_bits(sums[pb + i].load(Ordering::Relaxed));
+                            let first_pred = c.saturating_sub(k - 1);
+                            for (p, flag) in ready.iter().enumerate().take(c).skip(first_pred) {
+                                wait_for(flag, 1, p, &cancel);
+                                let pb = p * qs;
+                                for (i, slot) in pred.iter_mut().enumerate() {
+                                    *slot = T::from_bits(sums[pb + i].load(Ordering::Relaxed));
+                                }
+                                plan.fold(op, c - 1 - p, &pred, &mut state, s);
                             }
-                            plan.fold(op, c - 1 - p, &pred, &mut state, s);
-                        }
+                        });
 
                         // Sweep 2: seeded cascade re-reads the (L2-resident)
                         // input and writes the final outputs.
-                        op.cascade_scan_from(src, chunk, base, s, &mut state, exclusive);
+                        obs::timed(sink, b, c as u64, Phase::CarryApply, || {
+                            op.cascade_scan_from(src, chunk, base, s, &mut state, exclusive);
+                        });
                         own_end.copy_from_slice(&state);
                         c += k;
                     }

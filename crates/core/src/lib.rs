@@ -44,6 +44,7 @@ pub mod config;
 pub mod cpu;
 pub mod element;
 pub mod kernel;
+pub mod obs;
 pub mod op;
 pub mod plan;
 pub mod scanner;
@@ -55,6 +56,7 @@ pub use chunk_kernel::ChunkKernel;
 pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
+pub use obs::{Phase, ScanReport, Span, TraceSink, WaitHistogram};
 pub use op::ScanOp;
 pub use plan::{CarryState, CarryStateError, PlanHint, ScanPlan, ScanSession};
 pub use scanner::{auto_parallel_threshold, Engine, Scanner, AUTO_PARALLEL_THRESHOLD};

@@ -65,9 +65,10 @@ use crate::chunk_kernel::ChunkKernel;
 use crate::config::{ScanKind, ScanSpec};
 use crate::cpu::CpuScanner;
 use crate::kernel::{scan_on_gpu, SamParams};
+use crate::obs::{self, Phase, ScanReport, Span, TraceSink};
 use crate::scanner::{auto_parallel_threshold, Engine};
 use gpu_sim::memory::contiguous_transactions;
-use gpu_sim::{AccessClass, Gpu, Pod64};
+use gpu_sim::{AccessClass, Gpu, MetricsSnapshot, Pod64};
 
 /// Which kernel family a `(spec, operator)` pair executes — the gate every
 /// engine used to re-derive inline.
@@ -103,6 +104,11 @@ pub struct PlanHint {
     /// Overrides the [`Engine::Auto`] serial/parallel crossover (elements);
     /// ignored by the other engines.
     pub threshold: Option<usize>,
+    /// Enables scan tracing: the plan carries a [`TraceSink`], the engines
+    /// record spans and traffic into it, and every scan produces a
+    /// [`ScanReport`] ([`ScanPlan::last_report`]). Off by default — the
+    /// untraced hot path stays free of clocks and span bookkeeping.
+    pub trace: bool,
 }
 
 impl PlanHint {
@@ -112,6 +118,12 @@ impl PlanHint {
             expected_len: Some(n),
             ..PlanHint::default()
         }
+    }
+
+    /// Enables per-scan tracing and reporting (see [`crate::obs`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 }
 
@@ -174,6 +186,9 @@ pub struct ScanPlan {
     spec: ScanSpec,
     exec: PlanExec,
     hint: PlanHint,
+    /// Present iff the hint enabled tracing; shared by plan clones and
+    /// sessions so reports stay retrievable from any handle.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl ScanPlan {
@@ -186,22 +201,47 @@ impl ScanPlan {
     /// gets one default [`CpuScanner`] for the plan's lifetime;
     /// [`Engine::Simulated`] gets one [`Gpu`]).
     pub fn new(spec: ScanSpec, engine: Engine, hint: PlanHint) -> ScanPlan {
+        let sink = hint.trace.then(|| Arc::new(TraceSink::new()));
+        let t0 = sink.as_ref().map(|s| s.now_us());
+        let with_sink = |cpu: CpuScanner| match &sink {
+            Some(sink) => cpu.with_trace_sink(Arc::clone(sink)),
+            None => cpu,
+        };
         let exec = match engine {
             Engine::Serial => PlanExec::Serial,
-            Engine::Cpu(cpu) => PlanExec::Cpu(Arc::new(cpu)),
+            Engine::Cpu(cpu) => PlanExec::Cpu(Arc::new(with_sink(cpu))),
             Engine::Auto { threshold, cpu } => PlanExec::Auto {
                 threshold: hint
                     .threshold
                     .or(threshold)
                     .unwrap_or_else(|| auto_parallel_threshold(spec.order(), spec.tuple())),
-                cpu: Arc::new(cpu.unwrap_or_default()),
+                cpu: Arc::new(with_sink(cpu.unwrap_or_default())),
             },
             Engine::Simulated { device, params } => PlanExec::Gpu {
-                gpu: Arc::new(Gpu::new(device)),
+                gpu: Arc::new(if sink.is_some() {
+                    Gpu::with_trace(device)
+                } else {
+                    Gpu::new(device)
+                }),
                 params,
             },
         };
-        ScanPlan { spec, exec, hint }
+        if let (Some(sink), Some(t0)) = (&sink, t0) {
+            let dur_us = sink.now_us().saturating_sub(t0);
+            sink.record(Span {
+                worker: 0,
+                chunk: 0,
+                phase: Phase::Plan,
+                start_us: t0,
+                dur_us,
+            });
+        }
+        ScanPlan {
+            spec,
+            exec,
+            hint,
+            trace: sink,
+        }
     }
 
     /// The plan's validated spec.
@@ -263,21 +303,117 @@ impl ScanPlan {
         Op: ChunkKernel<T>,
     {
         assert_eq!(input.len(), out.len(), "output length must match input");
+        match &self.trace {
+            None => {
+                self.dispatch(input, out, op);
+            }
+            Some(sink) => {
+                let before = self.metrics_snapshot(sink);
+                let t0 = sink.now_us();
+                let engine = self.dispatch(input, out, op);
+                let wall_us = sink.now_us().saturating_sub(t0);
+                if engine == "serial" {
+                    // The serial engine has no internal hooks: the plan
+                    // layer records its single whole-scan kernel span and
+                    // charges its one communication-optimal pass.
+                    obs::charge_elem_pass(sink.metrics(), input.len(), std::mem::size_of::<T>());
+                    sink.record(Span {
+                        worker: 0,
+                        chunk: 0,
+                        phase: Phase::ChunkScan,
+                        start_us: t0,
+                        dur_us: wall_us,
+                    });
+                }
+                let delta = self.metrics_snapshot(sink).since(&before);
+                self.finish_report(sink, engine, input.len(), t0, wall_us, delta);
+            }
+        }
+    }
+
+    /// The untraced dispatch: runs the scan on the resolved engine and
+    /// names the engine that actually executed (adaptive plans decide per
+    /// call).
+    fn dispatch<T, Op>(&self, input: &[T], out: &mut [T], op: &Op) -> &'static str
+    where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
         match &self.exec {
-            PlanExec::Serial => crate::serial::scan_into(input, out, op, &self.spec),
-            PlanExec::Cpu(cpu) => cpu.scan_into(input, out, op, &self.spec),
+            PlanExec::Serial => {
+                crate::serial::scan_into(input, out, op, &self.spec);
+                "serial"
+            }
+            PlanExec::Cpu(cpu) => {
+                cpu.scan_into(input, out, op, &self.spec);
+                "cpu"
+            }
             PlanExec::Auto { threshold, cpu } => {
                 if input.len() < *threshold {
-                    crate::serial::scan_into(input, out, op, &self.spec)
+                    crate::serial::scan_into(input, out, op, &self.spec);
+                    "serial"
                 } else {
-                    cpu.scan_into(input, out, op, &self.spec)
+                    cpu.scan_into(input, out, op, &self.spec);
+                    "cpu"
                 }
             }
             PlanExec::Gpu { gpu, params } => {
                 let (result, _info) = scan_on_gpu(gpu, input, op, &self.spec, params);
                 out.copy_from_slice(&result);
+                "gpu-sim"
             }
         }
+    }
+
+    /// Reads the traffic counters a traced scan on this plan charges: the
+    /// simulated device's own metrics for GPU plans, the sink's metrics for
+    /// the host engines.
+    fn metrics_snapshot(&self, sink: &TraceSink) -> MetricsSnapshot {
+        match &self.exec {
+            PlanExec::Gpu { gpu, .. } => gpu.metrics().snapshot(),
+            _ => sink.metrics().snapshot(),
+        }
+    }
+
+    /// Assembles and stashes the [`ScanReport`] for a finished traced scan:
+    /// drains the sink's spans and histogram, folds in GPU trace events
+    /// (rebased onto the sink timeline), and records the metrics delta.
+    fn finish_report(
+        &self,
+        sink: &TraceSink,
+        engine: &'static str,
+        n: usize,
+        t0: u64,
+        wall_us: u64,
+        metrics: MetricsSnapshot,
+    ) {
+        let mut spans = sink.drain_spans();
+        let mut hist = sink.drain_wait_hist();
+        if let PlanExec::Gpu { gpu, .. } = &self.exec {
+            if let Some(log) = gpu.trace() {
+                obs::spans_from_events(&log.drain(), t0, &mut spans, &mut hist);
+            }
+        }
+        sink.set_report(ScanReport {
+            engine,
+            spec: self.spec,
+            n,
+            wall_us,
+            spans,
+            carry_wait_hist: hist,
+            metrics,
+        });
+    }
+
+    /// The most recent traced scan's [`ScanReport`], if this plan traces
+    /// ([`PlanHint::with_trace`]) and a scan has run.
+    pub fn last_report(&self) -> Option<ScanReport> {
+        self.trace.as_ref().and_then(|sink| sink.last_report())
+    }
+
+    /// The plan's [`TraceSink`], when tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_deref()
     }
 
     /// Allocating convenience form of [`ScanPlan::scan_into`].
@@ -467,6 +603,50 @@ impl<T: Pod64, Op: ChunkKernel<T>> ScanSession<T, Op> {
     /// valid until the next call.
     pub fn feed(&mut self, batch: &[T]) -> &[T] {
         let n = batch.len();
+        match self.plan.trace.clone() {
+            None => self.feed_inner(batch),
+            Some(sink) => {
+                let before = self.plan.metrics_snapshot(&sink);
+                let t0 = sink.now_us();
+                self.feed_inner(batch);
+                let wall_us = sink.now_us().saturating_sub(t0);
+                let engine = match &self.plan.exec {
+                    PlanExec::Serial => "serial",
+                    PlanExec::Cpu(_) | PlanExec::Auto { .. } => "cpu",
+                    PlanExec::Gpu { .. } => "gpu-sim",
+                };
+                if !matches!(&self.plan.exec, PlanExec::Gpu { .. }) {
+                    // The session-local fold models the same global-memory
+                    // behaviour as the one-shot engines: each element read
+                    // once, written once (GPU plans charge inside
+                    // `feed_inner`).
+                    obs::charge_elem_pass(sink.metrics(), n, std::mem::size_of::<T>());
+                }
+                sink.record(Span {
+                    worker: 0,
+                    chunk: 0,
+                    phase: Phase::Feed,
+                    start_us: t0,
+                    dur_us: wall_us,
+                });
+                let delta = self.plan.metrics_snapshot(&sink).since(&before);
+                self.plan.finish_report(&sink, engine, n, t0, wall_us, delta);
+            }
+        }
+        &self.out_buf[..n]
+    }
+
+    /// The most recent traced scan's report on this session's plan (see
+    /// [`ScanPlan::last_report`]); both one-shot scans and `feed` batches
+    /// produce reports.
+    pub fn last_report(&self) -> Option<ScanReport> {
+        self.plan.last_report()
+    }
+
+    /// The streaming fold behind [`ScanSession::feed`], leaving the batch
+    /// outputs in `self.out_buf[..batch.len()]`.
+    fn feed_inner(&mut self, batch: &[T]) {
+        let n = batch.len();
         if self.out_buf.len() < n {
             let id = self.op.identity();
             self.out_buf.resize(n, id);
@@ -496,7 +676,6 @@ impl<T: Pod64, Op: ChunkKernel<T>> ScanSession<T, Op> {
             m.add_read(AccessClass::Element, tx, n as u64);
             m.add_write(AccessClass::Element, tx, n as u64);
         }
-        &self.out_buf[..n]
     }
 
     /// The serial engine's association: per lane, order-1..q accumulators

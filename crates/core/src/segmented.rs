@@ -415,6 +415,90 @@ mod tests {
     }
 
     #[test]
+    fn streaming_tolerates_empty_batches_and_unit_segments() {
+        // Empty feed() batches interleave freely with real ones, and
+        // all-heads input (every segment of length 1) streams through the
+        // carry protocol as an identity map.
+        let values: Vec<i32> = (0..200).map(|i| 5 * i - 300).collect();
+        let heads = [true; 200];
+        for engine in [
+            Engine::Serial,
+            Engine::Cpu(CpuScanner::new(2).with_chunk_elems(16)),
+        ] {
+            let plan = ScanPlan::new(crate::ScanSpec::inclusive(), engine, PlanHint::default());
+            let mut session = plan.session(SegmentedOp::new(Sum));
+            let mut got = Vec::new();
+            got.extend(feed_segmented(&mut session, &[], &[]));
+            for chunk in values.chunks(33).zip(heads.chunks(33)) {
+                got.extend(feed_segmented(&mut session, chunk.0, chunk.1));
+                got.extend(feed_segmented::<i32, _>(&mut session, &[], &[]));
+            }
+            assert_eq!(got, values, "all-heads streaming is the identity map");
+        }
+    }
+
+    #[test]
+    fn segment_boundaries_exactly_on_batch_boundaries() {
+        // Every batch starts with a head: the carry entering each feed()
+        // call is immediately discarded by the flag, which is exactly the
+        // path that breaks if the session forgets to consult the flag
+        // before folding its carry in.
+        let period = 50;
+        let n = 20 * period;
+        let values: Vec<i32> = (0..n as i32).map(|i| i % 17 - 8).collect();
+        let heads = heads_every(n, period);
+        let expect = scan_serial(&values, &heads, &Sum, ScanKind::Inclusive);
+        for engine in [
+            Engine::Serial,
+            Engine::Cpu(CpuScanner::new(4).with_chunk_elems(32)),
+        ] {
+            let plan = ScanPlan::new(crate::ScanSpec::inclusive(), engine, PlanHint::default());
+            let mut session = plan.session(SegmentedOp::new(Sum));
+            let mut got = Vec::new();
+            for start in (0..n).step_by(period) {
+                let end = start + period;
+                got.extend(feed_segmented(&mut session, &values[start..end], &heads[start..end]));
+            }
+            assert_eq!(got, expect, "head-aligned batches must not absorb stale carry");
+        }
+    }
+
+    #[test]
+    fn streaming_segmented_survives_hostile_scheduling() {
+        use gpu_sim::sched::{SchedPolicy, Scheduler};
+        use std::sync::Arc;
+
+        let n = 3_000;
+        let values: Vec<i32> = (0..n as i32).map(|i| i % 29 - 14).collect();
+        let heads = heads_every(n, 53);
+        let expect = scan_serial(&values, &heads, &Sum, ScanKind::Inclusive);
+        for seed in [3u64, 17, 90] {
+            let scanner = CpuScanner::new(3)
+                .with_chunk_elems(64)
+                .with_scheduler(Arc::new(Scheduler::new(SchedPolicy::hostile(seed))));
+            // One-shot path.
+            let got = scan_parallel(&values, &heads, &Sum, ScanKind::Inclusive, &scanner);
+            assert_eq!(got, expect, "one-shot under hostile seed {seed}");
+            // Streaming path: same scanner inside a session, ragged batches.
+            let plan = ScanPlan::new(
+                crate::ScanSpec::inclusive(),
+                Engine::Cpu(scanner),
+                PlanHint::default(),
+            );
+            let mut session = plan.session(SegmentedOp::new(Sum));
+            let mut got = Vec::new();
+            let mut i = 0;
+            for batch in [129usize, 1, 770, 64, 2036] {
+                let end = (i + batch).min(n);
+                got.extend(feed_segmented(&mut session, &values[i..end], &heads[i..end]));
+                i = end;
+            }
+            assert_eq!(i, n);
+            assert_eq!(got, expect, "streaming under hostile seed {seed}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "inclusive order-1 tuple-1")]
     fn streaming_segmented_rejects_higher_order_sessions() {
         let spec = crate::ScanSpec::inclusive().with_order(2).unwrap();

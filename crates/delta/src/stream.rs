@@ -161,7 +161,12 @@ impl<'a> StreamReader<'a> {
     ///
     /// # Errors
     ///
-    /// Returns the first frame error encountered.
+    /// Returns the first frame error encountered. Every frame is fully
+    /// parsed and validated *before* any residuals reach the shared
+    /// decoder, so a malformed frame cannot poison decoder state: the
+    /// error is deterministic, nothing partial is returned, and the
+    /// reader (and any reused decoder) stays usable — healthy frames can
+    /// still be decoded individually via [`StreamReader::frame`].
     pub fn decompress_all<T>(&self) -> Result<Vec<T>, CodecError>
     where
         T: IntElement,

@@ -1,0 +1,126 @@
+//! Corruption robustness of the framed stream decoder.
+//!
+//! A malformed frame must never poison shared decoder state: errors are
+//! deterministic (the same corrupt bytes always produce the same
+//! `Result`), healthy frames around a corrupt one stay independently
+//! decodable, and a reader/decoder that has reported an error remains
+//! fully usable. Note a flipped byte is *not* guaranteed to produce an
+//! error — residual payload bytes simply decode to different values — so
+//! these tests assert determinism and isolation, not rejection.
+
+use proptest::prelude::*;
+use sam_delta::{decompress_stream, DeltaCodec, StreamReader, StreamWriter};
+
+fn codec() -> DeltaCodec {
+    DeltaCodec::new(2, 1).expect("valid codec")
+}
+
+fn sample_values(seed: u64, n: usize) -> Vec<i32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as i32) - (1 << 23)
+        })
+        .collect()
+}
+
+/// Byte offset of frame `index`'s body within the original stream bytes.
+fn frame_offset(bytes: &[u8], reader: &StreamReader<'_>, index: usize) -> usize {
+    reader.frames()[index].as_ptr() as usize - bytes.as_ptr() as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Flipping any single byte anywhere in the stream yields the same
+    /// `Result` on every attempt — parse and full decompression are pure
+    /// functions of the bytes, with no hidden decoder state carried
+    /// between attempts.
+    #[test]
+    fn single_byte_corruption_is_deterministic(
+        seed in any::<u64>(),
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let data = sample_values(seed, 700);
+        let mut bytes = StreamWriter::new(codec(), 256).compress(&data);
+        let at = (pos % bytes.len() as u64) as usize;
+        bytes[at] ^= xor;
+
+        let first = decompress_stream::<i32>(&bytes);
+        let second = decompress_stream::<i32>(&bytes);
+        prop_assert_eq!(&first, &second, "decompression must be deterministic");
+
+        if let Ok(reader) = StreamReader::parse(&bytes) {
+            for i in 0..reader.len() {
+                prop_assert_eq!(
+                    reader.frame::<i32>(i),
+                    reader.frame::<i32>(i),
+                    "random-access frame decode must be deterministic"
+                );
+            }
+        }
+    }
+
+    /// Corrupting one frame's *body* leaves every other frame decodable:
+    /// framing lengths live outside the bodies, and `decompress_all`
+    /// validates each frame before feeding the shared streaming decoder,
+    /// so a bad frame cannot leak state into its neighbours.
+    #[test]
+    fn corrupt_frame_body_does_not_poison_neighbours(
+        seed in any::<u64>(),
+        victim in 0usize..4,
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let frame_values = 250;
+        let data = sample_values(seed, 4 * frame_values);
+        let mut bytes = StreamWriter::new(codec(), frame_values).compress(&data);
+
+        let (off, len) = {
+            let clean = StreamReader::parse(&bytes).expect("clean stream parses");
+            prop_assert_eq!(clean.len(), 4);
+            (frame_offset(&bytes, &clean, victim), clean.frames()[victim].len())
+        };
+        prop_assert!(len > 0, "compressed frames are never empty");
+        bytes[off + (pos % len as u64) as usize] ^= xor;
+
+        let reader = StreamReader::parse(&bytes).expect("framing is outside bodies");
+        prop_assert_eq!(reader.len(), 4);
+        for i in 0..4 {
+            if i == victim {
+                continue;
+            }
+            let frame = reader.frame::<i32>(i).expect("healthy frame decodes");
+            prop_assert_eq!(&frame, &data[i * frame_values..(i + 1) * frame_values]);
+        }
+        // The victim itself: any Result is legal, but it must be stable,
+        // and asking for it must not disturb later healthy frames.
+        prop_assert_eq!(reader.frame::<i32>(victim), reader.frame::<i32>(victim));
+        let healthy = if victim == 3 { 2 } else { 3 };
+        let after = reader.frame::<i32>(healthy).expect("still healthy after error");
+        prop_assert_eq!(&after, &data[healthy * frame_values..(healthy + 1) * frame_values]);
+
+        // Whole-stream decode stays deterministic too (error or not).
+        prop_assert_eq!(reader.decompress_all::<i32>(), reader.decompress_all::<i32>());
+    }
+}
+
+/// An error from one stream must not fuse the API: decoding a clean
+/// stream immediately after a failed decode works (decoder state is
+/// per-call, validated before any residuals are fed).
+#[test]
+fn decode_after_error_recovers_cleanly() {
+    let data = sample_values(7, 1000);
+    let clean = StreamWriter::new(codec(), 256).compress(&data);
+
+    // Truncation is the one corruption guaranteed to error.
+    let truncated = &clean[..clean.len() - 1];
+    assert!(decompress_stream::<i32>(truncated).is_err());
+
+    let back: Vec<i32> = decompress_stream(&clean).expect("clean stream decodes after error");
+    assert_eq!(back, data);
+}

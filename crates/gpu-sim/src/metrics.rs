@@ -9,9 +9,13 @@
 //! given [`crate::DeviceSpec`].
 //!
 //! Counters are relaxed atomics so that persistent-block kernels running on
-//! real OS threads can share one [`Metrics`] instance.
+//! real OS threads can share one [`Metrics`] instance. The bulk readers
+//! ([`Metrics::snapshot`], [`Metrics::take`]) are made mutually coherent by
+//! a seqlock epoch, so a snapshot racing a take/reset never observes a torn
+//! mix of pre- and post-take counters; the increment paths stay plain
+//! relaxed `fetch_add`s and never touch the epoch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Distinguishes traffic on the element arrays (the data being scanned)
 /// from traffic on the small auxiliary arrays (local sums and ready flags).
@@ -33,9 +37,17 @@ pub enum AccessClass {
 /// Live counters shared by every block of a running kernel.
 ///
 /// All methods take `&self`; the counters are atomics with relaxed ordering
-/// (they carry no synchronization meaning, only totals).
+/// (they carry no synchronization meaning, only totals). Bulk operations
+/// over all counters ([`Metrics::take`], [`Metrics::reset`],
+/// [`Metrics::snapshot`]) coordinate through a seqlock epoch so concurrent
+/// readers see either the pre- or the post-operation counter set, never a
+/// torn mix.
 #[derive(Debug, Default)]
 pub struct Metrics {
+    /// Seqlock epoch guarding bulk reads against bulk writes: even when
+    /// idle, odd while a `take`/`reset` is mid-flight. Increment paths
+    /// never touch it.
+    epoch: AtomicU64,
     kernel_launches: AtomicU64,
     elem_read_transactions: AtomicU64,
     elem_write_transactions: AtomicU64,
@@ -133,7 +145,115 @@ impl Metrics {
     }
 
     /// Takes a plain-value snapshot of every counter.
+    ///
+    /// Coherent with concurrent [`Metrics::take`]/[`Metrics::reset`]: if a
+    /// bulk write is mid-flight the snapshot retries, so it returns either
+    /// the complete pre-take or the complete post-take counter set, never a
+    /// torn mix. Increments racing the snapshot may individually land on
+    /// either side, as before.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        loop {
+            let e1 = self.epoch.load(Ordering::Acquire);
+            if !e1.is_multiple_of(2) {
+                // A take/reset is mid-flight; wait for it to finish.
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = self.read_all();
+            // Standard seqlock read protocol: the acquire fence orders the
+            // counter loads before the epoch re-read, so an unchanged epoch
+            // proves no bulk write overlapped them.
+            fence(Ordering::Acquire);
+            if self.epoch.load(Ordering::Relaxed) == e1 {
+                return snap;
+            }
+        }
+    }
+
+    /// Atomically takes every counter: returns the accumulated values and
+    /// resets them to zero in a single swap per counter. An increment
+    /// racing the take lands either in this snapshot or the next — unlike
+    /// [`Metrics::snapshot`] followed by [`Metrics::reset`], which loses
+    /// anything added between the two calls.
+    ///
+    /// The whole multi-counter take is performed as one seqlock critical
+    /// section: a concurrent [`Metrics::snapshot`] sees all counters from
+    /// before the take or all from after it, never a mix.
+    pub fn take(&self) -> MetricsSnapshot {
+        let e = self.lock_bulk();
+        let snap = MetricsSnapshot {
+            kernel_launches: self.kernel_launches.swap(0, Ordering::Relaxed),
+            elem_read_transactions: self.elem_read_transactions.swap(0, Ordering::Relaxed),
+            elem_write_transactions: self.elem_write_transactions.swap(0, Ordering::Relaxed),
+            elem_read_words: self.elem_read_words.swap(0, Ordering::Relaxed),
+            elem_write_words: self.elem_write_words.swap(0, Ordering::Relaxed),
+            aux_read_transactions: self.aux_read_transactions.swap(0, Ordering::Relaxed),
+            aux_write_transactions: self.aux_write_transactions.swap(0, Ordering::Relaxed),
+            spill_transactions: self.spill_transactions.swap(0, Ordering::Relaxed),
+            flag_polls: self.flag_polls.swap(0, Ordering::Relaxed),
+            fences: self.fences.swap(0, Ordering::Relaxed),
+            barriers: self.barriers.swap(0, Ordering::Relaxed),
+            shuffles: self.shuffles.swap(0, Ordering::Relaxed),
+            compute_ops: self.compute_ops.swap(0, Ordering::Relaxed),
+            shared_accesses: self.shared_accesses.swap(0, Ordering::Relaxed),
+        };
+        self.unlock_bulk(e);
+        snap
+    }
+
+    /// Resets every counter to zero.
+    ///
+    /// Like [`Metrics::take`], the reset is one seqlock critical section:
+    /// concurrent snapshots never observe a half-reset counter set.
+    pub fn reset(&self) {
+        let e = self.lock_bulk();
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.elem_read_transactions.store(0, Ordering::Relaxed);
+        self.elem_write_transactions.store(0, Ordering::Relaxed);
+        self.elem_read_words.store(0, Ordering::Relaxed);
+        self.elem_write_words.store(0, Ordering::Relaxed);
+        self.aux_read_transactions.store(0, Ordering::Relaxed);
+        self.aux_write_transactions.store(0, Ordering::Relaxed);
+        self.spill_transactions.store(0, Ordering::Relaxed);
+        self.flag_polls.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.compute_ops.store(0, Ordering::Relaxed);
+        self.shared_accesses.store(0, Ordering::Relaxed);
+        self.unlock_bulk(e);
+    }
+
+    /// Acquires the seqlock writer side: spins until the epoch is even,
+    /// then bumps it to odd. Returns the even epoch observed.
+    fn lock_bulk(&self) -> u64 {
+        let mut e = self.epoch.load(Ordering::Relaxed);
+        loop {
+            if e.is_multiple_of(2) {
+                match self.epoch.compare_exchange_weak(
+                    e,
+                    e.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return e,
+                    Err(cur) => e = cur,
+                }
+            } else {
+                std::hint::spin_loop();
+                e = self.epoch.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Releases the seqlock writer side acquired at even epoch `e`.
+    fn unlock_bulk(&self, e: u64) {
+        self.epoch.store(e.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Relaxed load of every counter (no coherence; callers wrap it in the
+    /// seqlock read protocol).
+    fn read_all(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
             elem_read_transactions: self.elem_read_transactions.load(Ordering::Relaxed),
@@ -150,48 +270,6 @@ impl Metrics {
             compute_ops: self.compute_ops.load(Ordering::Relaxed),
             shared_accesses: self.shared_accesses.load(Ordering::Relaxed),
         }
-    }
-
-    /// Atomically takes every counter: returns the accumulated values and
-    /// resets them to zero in a single swap per counter. An increment
-    /// racing the take lands either in this snapshot or the next — unlike
-    /// [`Metrics::snapshot`] followed by [`Metrics::reset`], which loses
-    /// anything added between the two calls.
-    pub fn take(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            kernel_launches: self.kernel_launches.swap(0, Ordering::Relaxed),
-            elem_read_transactions: self.elem_read_transactions.swap(0, Ordering::Relaxed),
-            elem_write_transactions: self.elem_write_transactions.swap(0, Ordering::Relaxed),
-            elem_read_words: self.elem_read_words.swap(0, Ordering::Relaxed),
-            elem_write_words: self.elem_write_words.swap(0, Ordering::Relaxed),
-            aux_read_transactions: self.aux_read_transactions.swap(0, Ordering::Relaxed),
-            aux_write_transactions: self.aux_write_transactions.swap(0, Ordering::Relaxed),
-            spill_transactions: self.spill_transactions.swap(0, Ordering::Relaxed),
-            flag_polls: self.flag_polls.swap(0, Ordering::Relaxed),
-            fences: self.fences.swap(0, Ordering::Relaxed),
-            barriers: self.barriers.swap(0, Ordering::Relaxed),
-            shuffles: self.shuffles.swap(0, Ordering::Relaxed),
-            compute_ops: self.compute_ops.swap(0, Ordering::Relaxed),
-            shared_accesses: self.shared_accesses.swap(0, Ordering::Relaxed),
-        }
-    }
-
-    /// Resets every counter to zero.
-    pub fn reset(&self) {
-        self.kernel_launches.store(0, Ordering::Relaxed);
-        self.elem_read_transactions.store(0, Ordering::Relaxed);
-        self.elem_write_transactions.store(0, Ordering::Relaxed);
-        self.elem_read_words.store(0, Ordering::Relaxed);
-        self.elem_write_words.store(0, Ordering::Relaxed);
-        self.aux_read_transactions.store(0, Ordering::Relaxed);
-        self.aux_write_transactions.store(0, Ordering::Relaxed);
-        self.spill_transactions.store(0, Ordering::Relaxed);
-        self.flag_polls.store(0, Ordering::Relaxed);
-        self.fences.store(0, Ordering::Relaxed);
-        self.barriers.store(0, Ordering::Relaxed);
-        self.shuffles.store(0, Ordering::Relaxed);
-        self.compute_ops.store(0, Ordering::Relaxed);
-        self.shared_accesses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -256,27 +334,40 @@ impl MetricsSnapshot {
 
     /// Difference between two snapshots (`self - earlier`), counter-wise.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if any counter of `earlier` exceeds the
-    /// corresponding counter of `self`.
+    /// Each counter saturates at zero instead of wrapping: if a
+    /// [`Metrics::reset`] or [`Metrics::take`] intervened between the two
+    /// snapshots, `earlier` can exceed `self`, and a wrapping subtraction
+    /// would feed astronomically large garbage into the performance model.
+    /// A clamped-to-zero counter understates that (already ill-defined)
+    /// interval rather than corrupting it.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            kernel_launches: self.kernel_launches - earlier.kernel_launches,
-            elem_read_transactions: self.elem_read_transactions - earlier.elem_read_transactions,
-            elem_write_transactions: self.elem_write_transactions
-                - earlier.elem_write_transactions,
-            elem_read_words: self.elem_read_words - earlier.elem_read_words,
-            elem_write_words: self.elem_write_words - earlier.elem_write_words,
-            aux_read_transactions: self.aux_read_transactions - earlier.aux_read_transactions,
-            aux_write_transactions: self.aux_write_transactions - earlier.aux_write_transactions,
-            spill_transactions: self.spill_transactions - earlier.spill_transactions,
-            flag_polls: self.flag_polls - earlier.flag_polls,
-            fences: self.fences - earlier.fences,
-            barriers: self.barriers - earlier.barriers,
-            shuffles: self.shuffles - earlier.shuffles,
-            compute_ops: self.compute_ops - earlier.compute_ops,
-            shared_accesses: self.shared_accesses - earlier.shared_accesses,
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+            elem_read_transactions: self
+                .elem_read_transactions
+                .saturating_sub(earlier.elem_read_transactions),
+            elem_write_transactions: self
+                .elem_write_transactions
+                .saturating_sub(earlier.elem_write_transactions),
+            elem_read_words: self.elem_read_words.saturating_sub(earlier.elem_read_words),
+            elem_write_words: self
+                .elem_write_words
+                .saturating_sub(earlier.elem_write_words),
+            aux_read_transactions: self
+                .aux_read_transactions
+                .saturating_sub(earlier.aux_read_transactions),
+            aux_write_transactions: self
+                .aux_write_transactions
+                .saturating_sub(earlier.aux_write_transactions),
+            spill_transactions: self
+                .spill_transactions
+                .saturating_sub(earlier.spill_transactions),
+            flag_polls: self.flag_polls.saturating_sub(earlier.flag_polls),
+            fences: self.fences.saturating_sub(earlier.fences),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+            shuffles: self.shuffles.saturating_sub(earlier.shuffles),
+            compute_ops: self.compute_ops.saturating_sub(earlier.compute_ops),
+            shared_accesses: self.shared_accesses.saturating_sub(earlier.shared_accesses),
         }
     }
 }
@@ -356,6 +447,116 @@ mod tests {
         assert_eq!(delta.elem_read_transactions, 5);
         assert_eq!(delta.elem_read_words, 160);
         assert_eq!(delta.kernel_launches, 1);
+    }
+
+    #[test]
+    fn since_saturates_after_intervening_reset_or_take() {
+        // Regression: `since` used unchecked subtraction, so a reset()/take()
+        // between two snapshots wrapped every counter to ~u64::MAX in release
+        // builds and fed garbage into the perf model.
+        let m = Metrics::new();
+        m.add_launch();
+        m.add_read(AccessClass::Element, 10, 320);
+        m.add_write(AccessClass::Element, 10, 320);
+        m.add_poll();
+        m.add_compute(50);
+        let earlier = m.snapshot();
+
+        m.take(); // counters drop to zero behind `earlier`'s back
+        m.add_compute(7);
+        let later = m.snapshot();
+        let delta = later.since(&earlier);
+        assert_eq!(delta.kernel_launches, 0, "clamped, not wrapped");
+        assert_eq!(delta.elem_read_transactions, 0);
+        assert_eq!(delta.elem_words(), 0);
+        assert_eq!(delta.flag_polls, 0);
+        assert_eq!(delta.compute_ops, 0, "7 < 50 clamps to zero");
+
+        m.reset();
+        let delta = m.snapshot().since(&earlier);
+        assert_eq!(delta, MetricsSnapshot::default());
+    }
+
+    /// Sets every counter so that each of the snapshot's 14 fields reads
+    /// exactly `k` (spill traffic routed through one add).
+    fn add_all_counters(m: &Metrics, k: u64) {
+        for _ in 0..k {
+            m.add_launch();
+            m.add_poll();
+            m.add_fence();
+            m.add_barrier();
+        }
+        m.add_read(AccessClass::Element, k, k);
+        m.add_write(AccessClass::Element, k, k);
+        m.add_read(AccessClass::Aux, k, 0);
+        m.add_write(AccessClass::Aux, k, 0);
+        m.add_read(AccessClass::Spill, k, 0);
+        m.add_shuffles(k);
+        m.add_compute(k);
+        m.add_shared(k);
+    }
+
+    fn all_fields(s: &MetricsSnapshot) -> [u64; 14] {
+        [
+            s.kernel_launches,
+            s.elem_read_transactions,
+            s.elem_write_transactions,
+            s.elem_read_words,
+            s.elem_write_words,
+            s.aux_read_transactions,
+            s.aux_write_transactions,
+            s.spill_transactions,
+            s.flag_polls,
+            s.fences,
+            s.barriers,
+            s.shuffles,
+            s.compute_ops,
+            s.shared_accesses,
+        ]
+    }
+
+    #[test]
+    fn snapshot_never_observes_torn_take() {
+        // Regression: `take` swapped counters one at a time with no epoch,
+        // so a concurrent `snapshot` could see a mix of pre-take (3) and
+        // post-take (0) values. Each round sets all 14 counters to exactly
+        // 3; any snapshot mixing 3s and 0s is a torn read.
+        // Counter increments are only set up *outside* the observation
+        // window (between `end` and the next `start`), so inside the window
+        // the only legal snapshots are all-3s (pre-take) and all-0s
+        // (post-take).
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Barrier;
+        let m = Metrics::new();
+        let rounds = 400;
+        let start = Barrier::new(3);
+        let end = Barrier::new(3);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| loop {
+                    start.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    for _ in 0..64 {
+                        let fields = all_fields(&m.snapshot());
+                        let torn = fields.contains(&3) && fields.contains(&0);
+                        assert!(!torn, "torn snapshot during take: {fields:?}");
+                    }
+                    end.wait();
+                });
+            }
+            for _ in 0..rounds {
+                add_all_counters(&m, 3);
+                start.wait();
+                let taken = m.take();
+                assert_eq!(all_fields(&taken), [3; 14], "take itself sees full set");
+                end.wait();
+            }
+            done.store(true, Ordering::Release);
+            start.wait();
+        });
     }
 
     #[test]

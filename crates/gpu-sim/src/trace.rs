@@ -14,6 +14,7 @@
 
 use std::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,10 @@ pub enum EventKind {
 pub struct Event {
     /// Global sequence number (total order of emission).
     pub seq: u64,
+    /// Microseconds since the log's creation ([`EventLog::new`]) at the
+    /// moment of emission. Wall-clock skew of the simulating host, not
+    /// modelled GPU time; used by the observability layer to derive spans.
+    pub ts_us: u64,
     /// Emitting block.
     pub block: usize,
     /// Chunk index.
@@ -49,23 +54,37 @@ pub struct Event {
 }
 
 /// A shared, append-only event log.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventLog {
     events: Mutex<Vec<Event>>,
     counter: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            events: Mutex::new(Vec::new()),
+            counter: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl EventLog {
-    /// Creates an empty log.
+    /// Creates an empty log; event timestamps count from this moment.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends an event, assigning it the next sequence number.
+    /// Appends an event, assigning it the next sequence number and the
+    /// current timestamp.
     pub fn emit(&self, block: usize, chunk: u64, kind: EventKind) {
         let seq = self.counter.fetch_add(1, Ordering::Relaxed);
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
         self.events.lock().expect("event log lock").push(Event {
             seq,
+            ts_us,
             block,
             chunk,
             kind,
@@ -75,6 +94,18 @@ impl EventLog {
     /// Snapshots the events in emission order.
     pub fn events(&self) -> Vec<Event> {
         let mut v = self.events.lock().expect("event log lock").clone();
+        v.sort_by_key(|e| e.seq);
+        v
+    }
+
+    /// Removes and returns all recorded events in emission order, leaving
+    /// the log empty (sequence numbers keep counting). Lets one log serve
+    /// consecutive scans with per-scan event sets.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut v: Vec<Event> = {
+            let mut guard = self.events.lock().expect("event log lock");
+            std::mem::take(&mut *guard)
+        };
         v.sort_by_key(|e| e.seq);
         v
     }
@@ -174,6 +205,19 @@ mod tests {
         let mut seqs: Vec<u64> = log.events().iter().map(|e| e.seq).collect();
         seqs.dedup();
         assert_eq!(seqs.len(), 800, "sequence numbers are unique");
+    }
+
+    #[test]
+    fn drain_empties_log_and_keeps_order() {
+        let log = EventLog::new();
+        log.emit(0, 0, EventKind::ChunkStart);
+        log.emit(0, 0, EventKind::ChunkDone);
+        let evs = log.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].ts_us <= evs[1].ts_us, "timestamps follow emission");
+        assert!(log.is_empty());
+        log.emit(1, 1, EventKind::ChunkStart);
+        assert_eq!(log.events()[0].seq, 2, "sequence numbers keep counting");
     }
 
     #[test]
