@@ -8,7 +8,7 @@
 use crate::sort::radix_sort;
 use sam_core::cpu::CpuScanner;
 use sam_core::op::{Max, Sum};
-use sam_core::ScanSpec;
+use sam_core::{ScanElement, ScanSpec};
 
 /// Counts occurrences of each value in `0..bins` using the sort-and-scan
 /// formulation.
@@ -23,28 +23,49 @@ pub fn histogram(keys: &[u32], bins: usize, scanner: &CpuScanner) -> Vec<u64> {
         assert!((max as usize) < bins, "key {max} out of {bins} bins");
     }
 
-    // Boundary flags: position i starts a new bin's run.
+    // Boundary flags narrow to `u32` whenever the slot indices fit — half
+    // the scan traffic of the former `i64` flags, and a width the explicit
+    // SIMD sum kernels cover.
     let n = sorted.len();
-    let heads: Vec<i64> = (0..n)
-        .map(|i| i64::from(i == 0 || sorted[i - 1] != sorted[i]))
-        .collect();
-    // Exclusive scan -> compacted slot of each boundary; the boundary's
-    // position i is the bin's start offset.
-    let slots = scanner.scan(&heads, &Sum, &ScanSpec::exclusive());
-
-    let mut starts: Vec<(u32, usize)> = Vec::new();
-    for i in 0..n {
-        if heads[i] == 1 {
-            debug_assert_eq!(slots[i] as usize, starts.len());
-            starts.push((sorted[i], i));
-        }
-    }
+    let starts = if n <= u32::MAX as usize {
+        bin_starts::<u32>(&sorted, scanner)
+    } else {
+        bin_starts::<i64>(&sorted, scanner)
+    };
     let mut counts = vec![0u64; bins];
     for (j, &(value, start)) in starts.iter().enumerate() {
         let end = starts.get(j + 1).map_or(n, |&(_, s)| s);
         counts[value as usize] = (end - start) as u64;
     }
     counts
+}
+
+/// Each bin run's `(value, start index)` in `sorted`, via boundary flags
+/// (position `i` starts a new run) and an exclusive scan assigning every
+/// boundary its compacted slot.
+///
+/// Generic over the flag element type so the caller picks the narrowest
+/// width whose range covers the slot indices.
+fn bin_starts<C: ScanElement>(sorted: &[u32], scanner: &CpuScanner) -> Vec<(u32, usize)> {
+    let n = sorted.len();
+    let heads: Vec<C> = (0..n)
+        .map(|i| {
+            if i == 0 || sorted[i - 1] != sorted[i] {
+                C::ONE
+            } else {
+                C::ZERO
+            }
+        })
+        .collect();
+    let slots = scanner.scan(&heads, &Sum, &ScanSpec::exclusive());
+    let mut starts: Vec<(u32, usize)> = Vec::new();
+    for i in 0..n {
+        if heads[i] == C::ONE {
+            debug_assert_eq!(slots[i], C::from_i64(starts.len() as i64));
+            starts.push((sorted[i], i));
+        }
+    }
+    starts
 }
 
 /// Cumulative distribution (inclusive prefix sum of a histogram) — the

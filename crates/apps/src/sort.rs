@@ -17,6 +17,7 @@
 
 use sam_core::cpu::CpuScanner;
 use sam_core::op::Sum;
+use sam_core::ScanElement;
 use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
 use sam_core::scanner::Engine;
 use sam_core::ScanSpec;
@@ -166,7 +167,51 @@ pub fn radix_sort<T: RadixKey>(values: &mut Vec<T>) {
 }
 
 /// Sorts `values` by a [`RadixKey`] extracted from each element. Stable.
+///
+/// The per-pass digit counts (and hence the offset scan) use the narrowest
+/// integer width whose range covers `n` — `u16` up to 65 535 elements,
+/// then `u32` — so the 256-bin exclusive sum runs on the packed SWAR /
+/// SIMD kernels instead of always widening to 64 bits.
 pub fn radix_sort_by_key<T: Copy, K: RadixKey>(values: &mut Vec<T>, key: impl Fn(&T) -> K) {
+    let n = values.len();
+    if n <= u16::MAX as usize {
+        radix_passes::<T, K, u16>(values, &key);
+    } else if n <= u32::MAX as usize {
+        radix_passes::<T, K, u32>(values, &key);
+    } else {
+        radix_passes::<T, K, i64>(values, &key);
+    }
+}
+
+/// A digit-count element: a [`ScanElement`] whose value is re-extractable
+/// as a scatter index. Every count, offset and cursor in a pass is at most
+/// `n`, so the caller guarantees the width fits.
+trait CountElem: ScanElement {
+    /// The count's value as a `usize` index.
+    fn to_index(self) -> usize;
+}
+
+impl CountElem for u16 {
+    fn to_index(self) -> usize {
+        usize::from(self)
+    }
+}
+
+impl CountElem for u32 {
+    fn to_index(self) -> usize {
+        self as usize
+    }
+}
+
+impl CountElem for i64 {
+    fn to_index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The LSD counting-sort passes of [`radix_sort_by_key`], with digit
+/// counts held in `C`.
+fn radix_passes<T: Copy, K: RadixKey, C: CountElem>(values: &mut Vec<T>, key: &impl Fn(&T) -> K) {
     let n = values.len();
     if n <= 1 {
         return;
@@ -177,9 +222,10 @@ pub fn radix_sort_by_key<T: Copy, K: RadixKey>(values: &mut Vec<T>, key: impl Fn
     for pass in 0..passes {
         let shift = pass * 8;
         // Histogram.
-        let mut counts = [0i64; 256];
+        let mut counts = [C::ZERO; 256];
         for v in &src {
-            counts[(key(v).to_radix_bits() >> shift & 0xff) as usize] += 1;
+            let d = (key(v).to_radix_bits() >> shift & 0xff) as usize;
+            counts[d] = counts[d].add(C::ONE);
         }
         // Offsets: exclusive prefix sum of the histogram.
         let offsets = sam_core::serial::scan(&counts, &Sum, &ScanSpec::exclusive());
@@ -187,8 +233,8 @@ pub fn radix_sort_by_key<T: Copy, K: RadixKey>(values: &mut Vec<T>, key: impl Fn
         // Stable scatter.
         for v in &src {
             let d = (key(v).to_radix_bits() >> shift & 0xff) as usize;
-            dst[cursors[d] as usize] = *v;
-            cursors[d] += 1;
+            dst[cursors[d].to_index()] = *v;
+            cursors[d] = cursors[d].add(C::ONE);
         }
         std::mem::swap(&mut src, &mut dst);
     }

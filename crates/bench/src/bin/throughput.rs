@@ -15,6 +15,7 @@
 //!   --engines LIST    comma-separated from serial,cpu,session (default serial,cpu)
 //!   --session-reuse   shorthand for --engines session: plan-once steady state
 //!   --min-time SECS   per-point time budget in seconds (default 0.25)
+//!   --memcpy-baseline also measure plain copy bandwidth per size
 //! ```
 //!
 //! The `session` engine measures the plan-once path: a `ScanPlan` is
@@ -28,6 +29,15 @@
 //! exhausted; the JSON records the best repetition (`elems_per_sec` =
 //! `n / secs_best`). Raise `--min-time` for low-noise committed numbers,
 //! lower it (e.g. `0.005`) for CI smoke runs.
+//!
+//! `--memcpy-baseline` adds one `"memcpy"` record per size: the best
+//! `copy_from_slice` repetition over the same buffers, measured in the
+//! same run. A scan is communication-optimal at 1 read + 1 write per
+//! element — exactly a copy's traffic — so `elems_per_sec` relative to
+//! the same-run memcpy row *is* the fraction of the bandwidth roof
+//! (ROADMAP item 1's ≤1.15x criterion). The top-level `"isa"` field
+//! records which explicit kernel family (`sam_core::isa::resolved`) the
+//! scans dispatched to.
 
 use sam_core::cpu::CpuScanner;
 use sam_core::op::Sum;
@@ -51,7 +61,7 @@ struct Record {
 const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
                      [--orders LIST] [--tuples LIST] [--sizes LIST] \
                      [--engines serial,cpu,session] [--session-reuse] \
-                     [--min-time SECS]";
+                     [--min-time SECS] [--memcpy-baseline]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -94,6 +104,7 @@ fn main() {
     let mut engines: Vec<String> = vec!["serial".into(), "cpu".into()];
     let mut log_sizes: Vec<usize> = (10..=24).step_by(2).collect();
     let mut budget_secs = 0.25f64;
+    let mut memcpy_baseline = false;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -121,6 +132,7 @@ fn main() {
                     .collect();
             }
             "--session-reuse" => engines = vec!["session".into()],
+            "--memcpy-baseline" => memcpy_baseline = true,
             "--min-time" => {
                 let raw = value(&mut i, "--min-time");
                 budget_secs = raw.trim().parse().unwrap_or_else(|_| {
@@ -167,10 +179,50 @@ fn main() {
     let cpu = CpuScanner::default();
     let mut records: Vec<Record> = Vec::new();
 
+    // Shared measurement protocol: one untimed warm-up (page faults,
+    // branch history), then repeat until three timed repetitions and the
+    // per-point budget are both satisfied; keep the best repetition.
+    let measure = |runner: &mut dyn FnMut()| -> (f64, u32) {
+        let mut best = f64::INFINITY;
+        let mut reps = 0u32;
+        let mut spent = 0.0;
+        runner();
+        while reps < 3 || (spent < budget_secs && reps < rep_cap) {
+            let t = Instant::now();
+            runner();
+            let secs = t.elapsed().as_secs_f64();
+            best = best.min(secs);
+            spent += secs;
+            reps += 1;
+            if spent > 4.0 * budget_secs {
+                break;
+            }
+        }
+        (best, reps)
+    };
+
     for &lg in &log_sizes {
         let n = 1usize << lg;
         let data = &input[..n];
         let mut out = vec![0i64; n];
+        if memcpy_baseline {
+            // The roof: identical buffers, identical traffic (n reads +
+            // n writes), no arithmetic.
+            let (best, reps) = measure(&mut || out.copy_from_slice(data));
+            records.push(Record {
+                engine: "memcpy",
+                n,
+                order: 1,
+                tuple: 1,
+                secs_best: best,
+                elems_per_sec: n as f64 / best,
+                reps,
+            });
+            eprintln!(
+                "memcpy n=2^{lg:<2}: {:>10.0} elems/s ({reps} reps)",
+                n as f64 / best
+            );
+        }
         for &order in &orders {
             for &tuple in &tuples {
                 let spec = ScanSpec::inclusive()
@@ -190,22 +242,9 @@ fn main() {
                             )
                             .session(Sum)
                         });
-                    let mut best = f64::INFINITY;
-                    let mut reps = 0u32;
-                    let mut spent = 0.0;
-                    // One untimed warm-up (page faults, branch history).
-                    run_once(engine, data, &mut out, &cpu, session.as_ref(), &spec);
-                    while reps < 3 || (spent < budget_secs && reps < rep_cap) {
-                        let t = Instant::now();
-                        run_once(engine, data, &mut out, &cpu, session.as_ref(), &spec);
-                        let secs = t.elapsed().as_secs_f64();
-                        best = best.min(secs);
-                        spent += secs;
-                        reps += 1;
-                        if spent > 4.0 * budget_secs {
-                            break;
-                        }
-                    }
+                    let (best, reps) = measure(&mut || {
+                        run_once(engine, data, &mut out, &cpu, session.as_ref(), &spec)
+                    });
                     records.push(Record {
                         engine: match engine.as_str() {
                             "serial" => "serial",
@@ -232,6 +271,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"cpu_scan_throughput\",\n");
     let _ = writeln!(json, "  \"elem\": \"i64\", \"op\": \"sum\", \"kind\": \"inclusive\",");
+    let _ = writeln!(json, "  \"isa\": \"{}\",", sam_core::isa::resolved());
     let _ = writeln!(json, "  \"workers\": {},", cpu.workers());
     let _ = writeln!(json, "  \"chunk_elems\": {},", cpu.chunk_elems());
     json.push_str("  \"results\": [\n");
@@ -258,10 +298,9 @@ fn run_once(
     spec: &ScanSpec,
 ) {
     match engine {
-        "serial" => {
-            out.copy_from_slice(data);
-            serial::scan_in_place(out, &Sum, spec);
-        }
+        // Fused single pass (1 read + 1 write per element) — the same
+        // traffic as the memcpy baseline, so the ratio is meaningful.
+        "serial" => serial::scan_into(data, out, &Sum, spec),
         "cpu" => cpu.scan_into(data, out, &Sum, spec),
         "session" => session.expect("session built for this engine").scan_into(data, out),
         other => panic!("unknown engine {other}"),

@@ -513,6 +513,11 @@ fn scan_block<T: ScanElement>(sb: &[T]) -> [T; BLOCK] {
 /// the sequential accumulator.
 #[inline]
 fn sum_blocks_from<T: ScanElement>(src: &[T], dst: &mut [T], carry: T) -> T {
+    // Explicit SIMD/SWAR first: the resolved ISA's kernel is bit-identical
+    // and decides non-temporal stores internally.
+    if let Some(c) = crate::simd::stride1_from(crate::isa::resolved(), src, dst, carry) {
+        return c;
+    }
     #[cfg(target_arch = "x86_64")]
     if std::mem::size_of_val(src) >= NT_STORE_MIN_BYTES
         && 16 % std::mem::size_of::<T>() == 0
@@ -695,6 +700,9 @@ fn sum_cascade_vertical_from<T: ScanElement>(
     state: &mut [T],
     exclusive: bool,
 ) {
+    if crate::simd::vertical_from(crate::isa::resolved(), src, dst, s, state, exclusive) {
+        return;
+    }
     let q = state.len() / s;
     let top = (q - 1) * s;
     let mut off = 0;
@@ -736,6 +744,9 @@ fn sum_cascade_vertical_in_place<T: ScanElement>(
     state: &mut [T],
     exclusive: bool,
 ) {
+    if crate::simd::vertical_in_place(crate::isa::resolved(), data, s, state, exclusive) {
+        return;
+    }
     let q = state.len() / s;
     let top = (q - 1) * s;
     let mut off = 0;
@@ -776,6 +787,9 @@ fn sum_cascade_vertical_in_place<T: ScanElement>(
 
 /// Totals-only form of [`sum_cascade_vertical_from`].
 fn sum_cascade_vertical_totals<T: ScanElement>(src: &[T], s: usize, state: &mut [T]) {
+    if crate::simd::vertical_totals(crate::isa::resolved(), src, s, state) {
+        return;
+    }
     let q = state.len() / s;
     let mut off = 0;
     while off + s <= src.len() {
@@ -1023,6 +1037,9 @@ impl<T: ScanElement> ChunkKernel<T> for Sum {
 /// read, so there is no ownership read to elide.
 #[inline]
 fn sum_in_place_blocked<T: ScanElement>(data: &mut [T]) {
+    if crate::simd::stride1_in_place(crate::isa::resolved(), data).is_some() {
+        return;
+    }
     let mut carry = T::ZERO;
     let mut blocks = data.chunks_exact_mut(BLOCK);
     for db in &mut blocks {

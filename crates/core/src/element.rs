@@ -48,6 +48,17 @@ pub trait ScanElement:
     /// two's-complement integer types (ring `Z/2^w`); false for floats,
     /// where `x * 3.0` and `x + x + x` can round differently.
     const EXACT_MUL: bool;
+    /// Whether this type *is* one of the eight primitive wrapping integer
+    /// types (`i8`/`u8` … `i64`/`u64`), bit-reinterpretable as the
+    /// unsigned integer of its width.
+    ///
+    /// This is a strictly stronger claim than [`ScanElement::EXACT_ASSOC`]:
+    /// it licenses [`crate::simd`] to transmute slices to raw lane words
+    /// and add them with width-generic SIMD/SWAR instructions, which is
+    /// only sound for the primitive types themselves (two's-complement
+    /// addition is sign-agnostic at the bit level). Defaults to `false`;
+    /// never set it on a custom element type.
+    const IS_WRAPPING_INT: bool = false;
 
     /// Wrapping addition (plain addition for floats).
     fn add(self, other: Self) -> Self;
@@ -91,6 +102,7 @@ macro_rules! impl_scan_int {
             const MAX_VALUE: Self = <$t>::MAX;
             const EXACT_ASSOC: bool = true;
             const EXACT_MUL: bool = true;
+            const IS_WRAPPING_INT: bool = true;
 
             #[inline]
             fn add(self, other: Self) -> Self {

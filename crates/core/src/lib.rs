@@ -43,6 +43,7 @@ pub mod chunkops;
 pub mod config;
 pub mod cpu;
 pub mod element;
+pub mod isa;
 pub mod kernel;
 pub mod obs;
 pub mod op;
@@ -50,11 +51,13 @@ pub mod plan;
 pub mod scanner;
 pub mod segmented;
 pub mod serial;
+pub mod simd;
 pub mod validate;
 
 pub use chunk_kernel::ChunkKernel;
 pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};
+pub use isa::Isa;
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
 pub use obs::{Phase, ScanReport, Span, TraceSink, WaitHistogram};
 pub use op::ScanOp;

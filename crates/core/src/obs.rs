@@ -342,6 +342,11 @@ pub struct ScanReport {
     /// Engine that actually executed (`"serial"`, `"cpu"`, `"gpu-sim"`) —
     /// for adaptive plans this reflects the per-call crossover decision.
     pub engine: &'static str,
+    /// The kernel family ([`crate::isa::Isa::name`]) the `Sum` chunk
+    /// kernels dispatch to under this plan — `"scalar"`, `"swar"`,
+    /// `"neon"`, `"avx2"` or `"avx512"`, snapshotted at plan construction
+    /// from [`crate::isa::resolved`].
+    pub isa: &'static str,
     /// The plan's spec.
     pub spec: ScanSpec,
     /// Elements scanned.
@@ -448,9 +453,10 @@ impl ScanReport {
     /// One-line human summary (used by the `profile` bench tool).
     pub fn summary(&self) -> String {
         format!(
-            "{} n={} q={} s={}: {:.3} ms wall, scan {:.3} ms, wait {:.3} ms \
+            "{} [{}] n={} q={} s={}: {:.3} ms wall, scan {:.3} ms, wait {:.3} ms \
              ({} waits), elem {} R + {} W words, {} tx, peak {} chunks in flight",
             self.engine,
+            self.isa,
             self.n,
             self.spec.order(),
             self.spec.tuple(),
@@ -483,6 +489,7 @@ mod tests {
     fn report(spans: Vec<Span>) -> ScanReport {
         ScanReport {
             engine: "cpu",
+            isa: "scalar",
             spec: ScanSpec::inclusive(),
             n: 4,
             wall_us: 100,

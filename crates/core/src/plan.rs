@@ -96,6 +96,12 @@ pub fn kernel_path<T: Copy, Op: ChunkKernel<T>>(op: &Op, spec: &ScanSpec) -> Ker
 }
 
 /// Optional tuning hints consumed by [`ScanPlan::new`].
+///
+/// The SIMD kernel family is deliberately *not* a per-plan hint: kernel
+/// dispatch happens deep inside the chunk kernels, which see no plan state,
+/// so the choice is process-wide ([`crate::isa::resolved`], overridable
+/// with `SAM_FORCE_KERNEL`). The plan surfaces the resolved family through
+/// [`ScanPlan::isa`] and every traced [`ScanReport`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PlanHint {
     /// Expected elements per scan or stream; pre-sizes session buffers so
@@ -186,6 +192,11 @@ pub struct ScanPlan {
     spec: ScanSpec,
     exec: PlanExec,
     hint: PlanHint,
+    /// The kernel family ([`crate::isa`]) resolved when the plan was built.
+    /// Resolution is process-wide (one `OnceLock`, honoring
+    /// `SAM_FORCE_KERNEL`); the plan snapshots it so reports can state
+    /// which explicit SIMD path the `Sum` chunk kernels dispatched to.
+    isa: crate::isa::Isa,
     /// Present iff the hint enabled tracing; shared by plan clones and
     /// sessions so reports stay retrievable from any handle.
     trace: Option<Arc<TraceSink>>,
@@ -240,8 +251,17 @@ impl ScanPlan {
             spec,
             exec,
             hint,
+            isa: crate::isa::resolved(),
             trace: sink,
         }
+    }
+
+    /// The kernel family (ISA) the `Sum` chunk kernels dispatch to under
+    /// this plan — the process-wide [`crate::isa::resolved`] choice,
+    /// snapshotted at plan construction. Also echoed in every traced
+    /// [`ScanReport`].
+    pub fn isa(&self) -> crate::isa::Isa {
+        self.isa
     }
 
     /// The plan's validated spec.
@@ -396,6 +416,7 @@ impl ScanPlan {
         }
         sink.set_report(ScanReport {
             engine,
+            isa: self.isa.name(),
             spec: self.spec,
             n,
             wall_us,

@@ -1,0 +1,454 @@
+//! Forced-path ISA dispatch matrix: every explicit SIMD/SWAR kernel
+//! family this host can execute must agree exactly with a scalar oracle,
+//! across element widths, tuple strides, orders, and adversarial lengths
+//! (empty, single, lane-count ± 1, unaligned offsets, chunk-boundary
+//! tails) — so a masked-tail bug in a vector kernel cannot land silently.
+//!
+//! The suite drives `sam_core::simd` through its explicit-ISA entry
+//! points rather than `SAM_FORCE_KERNEL` (the process-wide override is
+//! resolved once and cached, so one test process can only observe one
+//! forced family; CI additionally runs the whole workspace under
+//! `SAM_FORCE_KERNEL=scalar`). It also pins the *support contract*: which
+//! (family, width, shape) pairs must take the SIMD path at all, so a
+//! dispatch regression that silently falls back to scalar fails loudly
+//! here instead of showing up as a benchmark cliff.
+
+use sam_core::cpu::CpuScanner;
+use sam_core::isa::{self, Isa};
+use sam_core::op::Sum;
+use sam_core::plan::{PlanHint, ScanPlan};
+use sam_core::scanner::Engine;
+use sam_core::simd;
+use sam_core::{serial, ScanElement, ScanSpec};
+
+/// Lengths chosen to straddle every kernel's internal boundaries: SWAR
+/// words (8/16 lanes), AVX2 vectors (4/8/16/32 lanes), AVX-512 vectors
+/// (8/16/32/64 lanes), their prologue/tail combinations, and plain odd
+/// sizes.
+const LENGTHS: [usize; 22] = [
+    0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 255, 1000, 1023,
+];
+
+fn pattern<T: ScanElement>(n: usize, seed: u64) -> Vec<T> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            T::from_i64((state >> 17) as i64)
+        })
+        .collect()
+}
+
+// --- Scalar oracles --------------------------------------------------------
+
+/// Stride-1 inclusive running sum seeded with `carry`; returns the final
+/// running total (the kernels' carry-out).
+fn stride1_oracle<T: ScanElement>(src: &[T], carry: T) -> (Vec<T>, T) {
+    let mut running = carry;
+    let out = src
+        .iter()
+        .map(|&x| {
+            running = running.add(x);
+            running
+        })
+        .collect();
+    (out, running)
+}
+
+/// Vertical order-`q` tuple-`s` cascade: per lane `l = j % s`, element `j`
+/// feeds row 0 of the `q x s` state and cascades upward; the output is the
+/// top row (previous value for exclusive scans). Mirrors the definition in
+/// `sam_core::chunk_kernel`'s scalar vertical kernels.
+fn vertical_oracle<T: ScanElement>(
+    src: &[T],
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) -> Vec<T> {
+    let q = state.len() / s;
+    let top = (q - 1) * s;
+    src.iter()
+        .enumerate()
+        .map(|(j, &x)| {
+            let l = j % s;
+            let prev = state[top + l];
+            state[l] = state[l].add(x);
+            for i in 1..q {
+                state[i * s + l] = state[i * s + l].add(state[(i - 1) * s + l]);
+            }
+            if exclusive {
+                prev
+            } else {
+                state[top + l]
+            }
+        })
+        .collect()
+}
+
+fn seeded_state<T: ScanElement>(q: usize, s: usize) -> Vec<T> {
+    (0..q * s).map(|i| T::from_i64(3 * i as i64 + 7)).collect()
+}
+
+// --- Support contract ------------------------------------------------------
+
+/// Whether `isa` must provide a stride-1 kernel for elements of `width`
+/// bytes. This is the dispatch table in `sam_core::simd::stride1_from`,
+/// restated independently so the two cannot drift without a test failure.
+fn expect_stride1(isa: Isa, width: usize) -> bool {
+    if isa == Isa::Scalar {
+        return false;
+    }
+    match width {
+        // Packed SWAR words are little-endian by construction.
+        1 | 2 => cfg!(target_endian = "little"),
+        4 | 8 if cfg!(target_arch = "x86_64") => matches!(isa, Isa::Avx2 | Isa::Avx512),
+        4 | 8 if cfg!(target_arch = "aarch64") => isa == Isa::Neon,
+        _ => false,
+    }
+}
+
+/// Whether `isa` must provide a vertical kernel for row width `b = s * W`
+/// bytes: any non-scalar family once a row spans at least one SWAR word.
+fn expect_vertical(isa: Isa, row_bytes: usize) -> bool {
+    isa != Isa::Scalar && row_bytes >= 8
+}
+
+#[test]
+fn stride1_support_contract() {
+    for isa in isa::available() {
+        for (width, taken) in [
+            (1, simd::stride1_from(isa, &[1u8; 40], &mut [0u8; 40], 0).is_some()),
+            (2, simd::stride1_from(isa, &[1u16; 40], &mut [0u16; 40], 0).is_some()),
+            (4, simd::stride1_from(isa, &[1i32; 40], &mut [0i32; 40], 0).is_some()),
+            (8, simd::stride1_from(isa, &[1i64; 40], &mut [0i64; 40], 0).is_some()),
+        ] {
+            assert_eq!(
+                taken,
+                expect_stride1(isa, width),
+                "{isa} width-{width} stride-1 support drifted from the contract"
+            );
+        }
+    }
+}
+
+#[test]
+fn vertical_support_contract() {
+    for isa in isa::available() {
+        // (s, W) pairs spanning both sides of the b >= 8 threshold.
+        for (s, b, taken) in [
+            (2usize, 2, {
+                let mut st = seeded_state::<u8>(1, 2);
+                simd::vertical_totals(isa, &[1u8; 32], 2, &mut st)
+            }),
+            (5, 5, {
+                let mut st = seeded_state::<u8>(2, 5);
+                simd::vertical_totals(isa, &[1u8; 35], 5, &mut st)
+            }),
+            (8, 8, {
+                let mut st = seeded_state::<u8>(1, 8);
+                simd::vertical_totals(isa, &[1u8; 32], 8, &mut st)
+            }),
+            (2, 8, {
+                let mut st = seeded_state::<i32>(2, 2);
+                simd::vertical_totals(isa, &[1i32; 32], 2, &mut st)
+            }),
+            (5, 40, {
+                let mut st = seeded_state::<i64>(8, 5);
+                simd::vertical_totals(isa, &[1i64; 35], 5, &mut st)
+            }),
+        ] {
+            assert_eq!(
+                taken,
+                expect_vertical(isa, b),
+                "{isa} s={s} b={b} vertical support drifted from the contract"
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_family_always_declines() {
+    assert!(simd::stride1_from(Isa::Scalar, &[1i64; 8], &mut [0i64; 8], 0).is_none());
+    assert!(simd::stride1_in_place(Isa::Scalar, &mut [1u8; 64]).is_none());
+    let mut state = seeded_state::<i64>(2, 8);
+    assert!(!simd::vertical_from(Isa::Scalar, &[1i64; 32], &mut [0i64; 32], 8, &mut state, false));
+    assert!(!simd::vertical_in_place(Isa::Scalar, &mut [1i64; 32], 8, &mut state, true));
+    assert!(!simd::vertical_totals(Isa::Scalar, &[1i64; 32], 8, &mut state));
+}
+
+// --- Stride-1 equivalence matrix -------------------------------------------
+
+/// Runs every available family over every adversarial length at aligned
+/// and offset-by-one-element positions, comparing outputs and carry-out
+/// against the oracle. The offset run shifts both slices off the vector
+/// kernels' natural alignment, exercising the dst-aligning prologues.
+fn stride1_matrix<T: ScanElement>(seed: u64) {
+    let carry = T::from_i64(0x55);
+    for isa in isa::available() {
+        if !expect_stride1(isa, std::mem::size_of::<T>()) {
+            continue;
+        }
+        for &n in &LENGTHS {
+            for offset in [0usize, 1] {
+                let backing = pattern::<T>(n + offset, seed);
+                let src = &backing[offset..];
+                let (want, want_carry) = stride1_oracle(src, carry);
+
+                let mut dst = vec![T::ZERO; n + offset];
+                let got_carry = simd::stride1_from(isa, src, &mut dst[offset..], carry)
+                    .expect("support contract says this path is taken");
+                assert_eq!(dst[offset..], want[..], "{isa} n={n} off={offset} stride-1 output");
+                assert_eq!(got_carry, want_carry, "{isa} n={n} off={offset} carry-out");
+
+                // In-place form: zero seed, same buffer for src and dst.
+                let mut data = backing.clone();
+                let (want_ip, want_ip_carry) = stride1_oracle(&data[offset..], T::ZERO);
+                let got = simd::stride1_in_place(isa, &mut data[offset..])
+                    .expect("support contract says this path is taken");
+                assert_eq!(data[offset..], want_ip[..], "{isa} n={n} off={offset} in-place");
+                assert_eq!(got, want_ip_carry, "{isa} n={n} off={offset} in-place total");
+            }
+        }
+    }
+}
+
+#[test]
+fn stride1_matches_oracle_u8() {
+    stride1_matrix::<u8>(0x1111);
+}
+
+#[test]
+fn stride1_matches_oracle_u16() {
+    stride1_matrix::<u16>(0x2222);
+}
+
+#[test]
+fn stride1_matches_oracle_i32() {
+    stride1_matrix::<i32>(0x3333);
+}
+
+#[test]
+fn stride1_matches_oracle_i64() {
+    stride1_matrix::<i64>(0x4444);
+}
+
+#[test]
+fn stride1_matches_oracle_u32_u64() {
+    stride1_matrix::<u32>(0x5555);
+    stride1_matrix::<u64>(0x6666);
+}
+
+// --- Vertical equivalence matrix -------------------------------------------
+
+/// All three vertical sweeps (from, in-place, totals) for one element
+/// type over orders × strides × tail shapes × both scan kinds, with a
+/// nonzero seeded state so carried-in history is part of every check.
+fn vertical_matrix<T: ScanElement>(seed: u64) {
+    for isa in isa::available() {
+        for q in [1usize, 2, 5, 8] {
+            for s in [1usize, 2, 5, 8] {
+                if !expect_vertical(isa, s * std::mem::size_of::<T>()) {
+                    continue;
+                }
+                // Full rows plus every tail shape: none, one element, one
+                // short of a row.
+                for tail in [0, 1, s - 1] {
+                    let n = 6 * s + tail;
+                    for exclusive in [false, true] {
+                        let src = pattern::<T>(n, seed ^ (n as u64) << 8 ^ q as u64);
+
+                        let mut oracle_state = seeded_state::<T>(q, s);
+                        let want = vertical_oracle(&src, s, &mut oracle_state, exclusive);
+
+                        let mut state = seeded_state::<T>(q, s);
+                        let mut dst = vec![T::ZERO; n];
+                        assert!(
+                            simd::vertical_from(isa, &src, &mut dst, s, &mut state, exclusive),
+                            "support contract says {isa} q={q} s={s} is taken"
+                        );
+                        let ctx = format!("{isa} q={q} s={s} n={n} excl={exclusive}");
+                        assert_eq!(dst, want, "{ctx} vertical_from output");
+                        assert_eq!(state, oracle_state, "{ctx} vertical_from state");
+
+                        let mut data = src.clone();
+                        let mut state2 = seeded_state::<T>(q, s);
+                        assert!(simd::vertical_in_place(
+                            isa, &mut data, s, &mut state2, exclusive
+                        ));
+                        assert_eq!(data, want, "{ctx} vertical_in_place output");
+                        assert_eq!(state2, oracle_state, "{ctx} vertical_in_place state");
+
+                        let mut state3 = seeded_state::<T>(q, s);
+                        assert!(simd::vertical_totals(isa, &src, s, &mut state3));
+                        assert_eq!(state3, oracle_state, "{ctx} vertical_totals state");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vertical_matches_oracle_u8() {
+    vertical_matrix::<u8>(0xaaaa);
+}
+
+#[test]
+fn vertical_matches_oracle_u16() {
+    vertical_matrix::<u16>(0xbbbb);
+}
+
+#[test]
+fn vertical_matches_oracle_i32() {
+    vertical_matrix::<i32>(0xcccc);
+}
+
+#[test]
+fn vertical_matches_oracle_i64() {
+    vertical_matrix::<i64>(0xdddd);
+}
+
+/// Crossing the non-temporal store threshold (8 MiB of output) switches
+/// the x86 stride-1 and small-row vertical kernels to streaming stores
+/// with software prefetch; nothing below the threshold exercises that
+/// code, so cover it explicitly at `8 MiB + tail`.
+#[test]
+fn nt_threshold_matches_oracle() {
+    let n = (1 << 20) + 7; // i64: just past NT_STORE_MIN_BYTES, odd tail
+    let carry = 11i64;
+    let src = pattern::<i64>(n, 0x6001);
+    for isa in isa::available() {
+        if expect_stride1(isa, 8) {
+            let (want, want_carry) = stride1_oracle(&src, carry);
+            let mut dst = vec![0i64; n];
+            let got = simd::stride1_from(isa, &src, &mut dst, carry).unwrap();
+            assert_eq!(dst, want, "{isa} stride-1 above the NT threshold");
+            assert_eq!(got, want_carry, "{isa} stride-1 NT carry-out");
+        }
+        if isa == Isa::Scalar {
+            continue;
+        }
+        // Tuple-2 order-1: the register-resident small-row path, which
+        // streams its stores above the threshold when dst is 8-aligned.
+        let mut oracle_state = seeded_state::<i64>(1, 2);
+        let want = vertical_oracle(&src, 2, &mut oracle_state, false);
+        let mut state = seeded_state::<i64>(1, 2);
+        let mut dst = vec![0i64; n];
+        assert!(simd::vertical_from(isa, &src, &mut dst, 2, &mut state, false));
+        assert_eq!(dst, want, "{isa} small-row vertical above the NT threshold");
+        assert_eq!(state, oracle_state, "{isa} small-row NT state");
+        // A 4-byte-aligned-only destination must decline streaming stores
+        // and still be correct: offset an i32 buffer by one element.
+        let src32 = pattern::<i32>(n + 1, 0x6002);
+        let mut oracle_state = seeded_state::<i32>(1, 2);
+        let want = vertical_oracle(&src32[1..], 2, &mut oracle_state, true);
+        let mut state = seeded_state::<i32>(1, 2);
+        let mut dst = vec![0i32; n + 1];
+        assert!(simd::vertical_from(isa, &src32[1..], &mut dst[1..], 2, &mut state, true));
+        assert_eq!(dst[1..], want[..], "{isa} unaligned small-row NT decline");
+        assert_eq!(state, oracle_state, "{isa} unaligned small-row state");
+    }
+}
+
+// --- Engine-level equivalence ----------------------------------------------
+
+/// Whole-engine scans on narrow integer types under whatever family the
+/// process resolved (CI runs this same test with `SAM_FORCE_KERNEL=scalar`
+/// and with AVX2 enabled at compile time): serial and chunked-CPU engines
+/// must agree with a from-definition reference on every spec.
+fn engine_grid<T: ScanElement>(seed: u64) {
+    let cpu = CpuScanner::new(3).with_chunk_elems(64);
+    for n in [0usize, 1, 63, 64, 65, 1000] {
+        let input = pattern::<T>(n, seed);
+        for order in [1u32, 2, 5] {
+            for tuple in [1usize, 2, 5, 8] {
+                for spec in [
+                    ScanSpec::inclusive(),
+                    ScanSpec::exclusive(),
+                ] {
+                    let spec = spec
+                        .with_order(order)
+                        .expect("valid order")
+                        .with_tuple(tuple)
+                        .expect("valid tuple");
+                    let want = serial::scan(&input, &Sum, &spec);
+                    // serial::scan is itself routed through the dispatch
+                    // under test, so anchor it to the oracle first.
+                    let mut state = vec![T::ZERO; order as usize * tuple];
+                    let oracle =
+                        vertical_oracle(&input, tuple, &mut state, spec.kind() == sam_core::ScanKind::Exclusive);
+                    assert_eq!(want, oracle, "serial vs oracle q={order} s={tuple} n={n}");
+                    let got = cpu.scan(&input, &Sum, &spec);
+                    assert_eq!(want, got, "cpu vs serial q={order} s={tuple} n={n}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_narrow_types() {
+    engine_grid::<u8>(0x7001);
+    engine_grid::<u16>(0x7002);
+    engine_grid::<i32>(0x7003);
+}
+
+#[test]
+fn engines_agree_on_wide_types() {
+    engine_grid::<i64>(0x7004);
+    engine_grid::<u64>(0x7005);
+}
+
+// --- Observability ---------------------------------------------------------
+
+#[test]
+fn plan_and_report_record_resolved_family() {
+    let resolved = isa::resolved();
+    assert!(resolved.is_available(), "resolved family must be executable");
+    let plan = ScanPlan::new(
+        ScanSpec::inclusive(),
+        Engine::Cpu(CpuScanner::new(2)),
+        PlanHint::expected_len(256).with_trace(),
+    );
+    assert_eq!(plan.isa(), resolved, "plan snapshots the process-wide family");
+    let session = plan.session::<i64, _>(Sum);
+    let input = pattern::<i64>(256, 0x8001);
+    let mut out = vec![0i64; 256];
+    session.scan_into(&input, &mut out);
+    let report = session.last_report().expect("traced plan produces a report");
+    assert_eq!(report.isa, resolved.name(), "report carries the family name");
+    assert!(
+        report.summary().contains(resolved.name()),
+        "summary names the kernel family: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn family_names_round_trip() {
+    for isa in Isa::ALL {
+        assert_eq!(Isa::from_name(isa.name()), Some(isa), "{isa} name round-trip");
+    }
+    assert_eq!(Isa::from_name("sse9"), None);
+    // The detection floor: SWAR needs no CPU features, so it is always
+    // available and `available()` always contains Scalar and Swar.
+    let avail = isa::available();
+    assert!(avail.contains(&Isa::Scalar) && avail.contains(&Isa::Swar));
+    assert!(avail.contains(&isa::detect()));
+}
+
+// --- Narrow-count app paths ------------------------------------------------
+
+/// `radix_sort` above 65 536 elements switches from u16 to u32 counting
+/// scans; cross the boundary and verify against a comparison sort.
+#[test]
+fn radix_sort_crosses_count_width_boundary() {
+    let mut keys: Vec<u32> = pattern::<i64>(70_000, 0x9001)
+        .into_iter()
+        .map(|v| v as u32)
+        .collect();
+    let mut want = keys.clone();
+    want.sort_unstable();
+    sam_apps::sort::radix_sort(&mut keys);
+    assert_eq!(keys, want);
+}
