@@ -461,19 +461,13 @@ fn cascade_totals_generic<T: Copy, Op: ScanOp<T> + ?Sized>(
 
 // --- Sum: unrolled multi-accumulator stride-1 kernels ----------------------
 
-/// Output size in bytes above which the fused stride-1 sum kernels switch
-/// to non-temporal stores on x86-64.
-///
-/// A cacheable store to a line not in cache first *reads* the line
-/// (write-allocate), so a streaming scan moves 3 bytes per output byte
-/// (read src, read-for-ownership dst, write dst). `movntdq` skips the
-/// ownership read — measured ~1.2–1.5× on the fused pass once the output
-/// no longer fits in cache. Below this threshold the output may be
-/// consumed from cache by the caller, which non-temporal stores would
-/// evict, so the cached path is kept. 8 MiB sits safely past the private
-/// L2 of every deployment target.
+// The non-temporal store threshold is shared with the explicit SIMD
+// kernels (`simd.rs`) so the two layers flip to streaming stores at the
+// same output size; see its definition for the rationale. Measured
+// ~1.2–1.5× on the fused pass once the output no longer fits in cache.
+// (Every consumer in this file is x86-64-only, hence the gated import.)
 #[cfg(target_arch = "x86_64")]
-const NT_STORE_MIN_BYTES: usize = 8 << 20;
+use crate::simd::NT_STORE_MIN_BYTES;
 
 /// Scans one `BLOCK`-element block with Hillis–Steele steps 1, 2, 4, 8
 /// (double-buffered between two register arrays so every step is a

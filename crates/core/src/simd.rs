@@ -78,7 +78,9 @@ use crate::isa::Isa;
 /// output may be consumed from cache by the caller, which non-temporal
 /// stores would evict; 8 MiB sits safely past the private L2 of every
 /// deployment target.
-#[cfg(target_arch = "x86_64")]
+///
+/// Defined on every target (only the x86-64 store paths consult it, but
+/// `cfg!`-guarded expressions still name it on other architectures).
 pub(crate) const NT_STORE_MIN_BYTES: usize = 8 << 20;
 
 // --- Public dispatch ------------------------------------------------------
@@ -86,7 +88,8 @@ pub(crate) const NT_STORE_MIN_BYTES: usize = 8 << 20;
 /// Stride-1 inclusive sum of `src` into `dst` seeded by `carry`
 /// (`dst[j] = carry + src[0] + … + src[j]`, wrapping), on the kernel
 /// family `isa`. Returns the final running total, or `None` when `isa`
-/// has no kernel for this element type (use the scalar path).
+/// has no kernel for this element type or the running CPU cannot execute
+/// it (use the scalar path).
 ///
 /// `src` and `dst` may be the same allocation only via
 /// [`stride1_in_place`].
@@ -104,7 +107,7 @@ pub fn stride1_from<T: ScanElement>(isa: Isa, src: &[T], dst: &mut [T], carry: T
 /// In-place form of [`stride1_from`] with a zero seed: scans `data` into
 /// itself (`data[j] = data[0] + … + data[j]`, wrapping). Returns the final
 /// running total, or `None` when `isa` has no kernel for this element
-/// type.
+/// type or is unavailable on the running CPU.
 pub fn stride1_in_place<T: ScanElement>(isa: Isa, data: &mut [T]) -> Option<T> {
     let p = data.as_mut_ptr();
     // SAFETY: every kernel loads a block before storing it, so src == dst
@@ -126,7 +129,10 @@ unsafe fn stride1_ptr<T: ScanElement>(
     carry: T,
     allow_nt: bool,
 ) -> Option<T> {
-    if !T::IS_WRAPPING_INT || isa == Isa::Scalar {
+    // `is_available` also guards soundness: the vector arms below jump into
+    // `#[target_feature]` kernels, so an ISA the CPU cannot execute must
+    // decline here rather than fault (callers may pass any `Isa`).
+    if !T::IS_WRAPPING_INT || isa == Isa::Scalar || !isa.is_available() {
         return None;
     }
     let _ = allow_nt;
@@ -185,7 +191,8 @@ unsafe fn stride1_ptr<T: ScanElement>(
 /// and updating the `q x s` row-major `state` — the SIMD form of
 /// [`crate::chunk_kernel`]'s vertical kernels, valid for spans whose
 /// global base offset is a multiple of `s`. Returns `false` when `isa`
-/// has no kernel for this shape (use the scalar path).
+/// has no kernel for this shape or is unavailable on the running CPU
+/// (use the scalar path).
 ///
 /// # Panics
 ///
@@ -225,7 +232,7 @@ pub fn vertical_from<T: ScanElement>(
 }
 
 /// In-place form of [`vertical_from`]. Returns `false` when `isa` has no
-/// kernel for this shape.
+/// kernel for this shape or is unavailable on the running CPU.
 ///
 /// # Panics
 ///
@@ -263,7 +270,8 @@ pub fn vertical_in_place<T: ScanElement>(
 
 /// Totals-only form of [`vertical_from`]: advances `state` over `src`
 /// without writing outputs (the single-pass publish sweep). Returns
-/// `false` when `isa` has no kernel for this shape.
+/// `false` when `isa` has no kernel for this shape or is unavailable on
+/// the running CPU.
 ///
 /// # Panics
 ///
@@ -330,7 +338,9 @@ fn vert_dispatch<T: ScanElement>(
     state: *mut u8,
     q: usize,
 ) -> bool {
-    if !T::IS_WRAPPING_INT || isa == Isa::Scalar {
+    // As in `stride1_ptr`, `is_available` keeps unavailable vector families
+    // from reaching their `#[target_feature]` kernels.
+    if !T::IS_WRAPPING_INT || isa == Isa::Scalar || !isa.is_available() {
         return false;
     }
     let b = s * std::mem::size_of::<T>();
@@ -1367,6 +1377,23 @@ mod tests {
                 (s >> 33) as u8
             })
             .collect()
+    }
+
+    /// Every target has at least one vector family its CPU cannot execute
+    /// (NEON on x86-64, AVX on aarch64); passing one through the public
+    /// dispatch must decline — not reach a `#[target_feature]` kernel.
+    #[test]
+    fn unavailable_isa_declines_instead_of_dispatching() {
+        for isa in Isa::ALL.into_iter().filter(|i| !i.is_available()) {
+            let src = vec![1i64; 100];
+            let mut dst = vec![0i64; 100];
+            assert_eq!(stride1_from(isa, &src, &mut dst, 0), None, "{isa}");
+            assert_eq!(stride1_in_place(isa, &mut dst), None, "{isa}");
+            let mut state = vec![0i64; 4];
+            assert!(!vertical_from(isa, &src, &mut dst, 4, &mut state, false), "{isa}");
+            assert!(!vertical_in_place(isa, &mut dst, 4, &mut state, false), "{isa}");
+            assert!(!vertical_totals(isa, &src, 4, &mut state), "{isa}");
+        }
     }
 
     #[test]
