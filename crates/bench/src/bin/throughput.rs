@@ -16,7 +16,29 @@
 //!   --session-reuse   shorthand for --engines session: plan-once steady state
 //!   --min-time SECS   per-point time budget in seconds (default 0.25)
 //!   --memcpy-baseline also measure plain copy bandwidth per size
+//!   --adaptive        also run the adaptive-plans benchmark (see below)
+//!   --check-adaptive  with --adaptive: exit nonzero unless converged
+//!                     adaptive throughput holds up against the frozen
+//!                     baseline on every grid point
+//!   --assert-seeded   with --adaptive: exit nonzero unless the adaptive
+//!                     plans started from a persisted tuning (CI runs this
+//!                     on the second of two invocations sharing
+//!                     SAM_TUNING_DIR to prove store persistence)
 //! ```
+//!
+//! `--adaptive` benchmarks `PlanHint::adaptive()` plans (`sam_core::adapt`):
+//! for each (order, tuple) grid point it measures the frozen-constant
+//! baseline, drives an adaptive plan through episodes until the driver
+//! converges (recording the convergence trajectory), then measures the
+//! converged steady state. One additional grid point starts from a
+//! deliberately mis-tuned geometry (oversubscribed workers, tiny chunks)
+//! to show the search recovering what the frozen constants would have
+//! lost. Results land in an `"adaptive_results"` JSON section with
+//! per-episode trajectories downsampled to ≤ 32 points. Note the bench
+//! protocol caveat: on a single-core host the worker and chunk knobs
+//! degenerate (the engine runs the fused serial path), so the live knobs
+//! there are the kernel path and the NT-store threshold, and adaptive
+//! gains over the frozen defaults are modest on well-tuned shapes.
 //!
 //! The `session` engine measures the plan-once path: a `ScanPlan` is
 //! resolved and its `ScanSession` created once per configuration, outside
@@ -58,10 +80,26 @@ struct Record {
     reps: u32,
 }
 
+/// One measured adaptive grid point: frozen baseline vs converged
+/// adaptive plan, with the convergence trajectory.
+struct AdaptiveRecord {
+    start: &'static str,
+    n: usize,
+    order: u32,
+    tuple: usize,
+    frozen_elems_per_sec: f64,
+    adaptive_elems_per_sec: f64,
+    episodes_to_converge: Option<u64>,
+    seeded: bool,
+    /// `(episode, elems_per_sec)` samples, downsampled to <= 32 points.
+    trajectory: Vec<(u64, f64)>,
+}
+
 const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
                      [--orders LIST] [--tuples LIST] [--sizes LIST] \
                      [--engines serial,cpu,session] [--session-reuse] \
-                     [--min-time SECS] [--memcpy-baseline]";
+                     [--min-time SECS] [--memcpy-baseline] \
+                     [--adaptive] [--check-adaptive] [--assert-seeded]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -105,6 +143,9 @@ fn main() {
     let mut log_sizes: Vec<usize> = (10..=24).step_by(2).collect();
     let mut budget_secs = 0.25f64;
     let mut memcpy_baseline = false;
+    let mut adaptive_mode = false;
+    let mut check_adaptive = false;
+    let mut assert_seeded = false;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -133,6 +174,9 @@ fn main() {
             }
             "--session-reuse" => engines = vec!["session".into()],
             "--memcpy-baseline" => memcpy_baseline = true,
+            "--adaptive" => adaptive_mode = true,
+            "--check-adaptive" => check_adaptive = true,
+            "--assert-seeded" => assert_seeded = true,
             "--min-time" => {
                 let raw = value(&mut i, "--min-time");
                 budget_secs = raw.trim().parse().unwrap_or_else(|_| {
@@ -155,6 +199,9 @@ fn main() {
     }
     if engines.is_empty() {
         usage_error("--engines expects a non-empty list");
+    }
+    if (check_adaptive || assert_seeded) && !adaptive_mode {
+        usage_error("--check-adaptive and --assert-seeded require --adaptive");
     }
     for &order in &orders {
         if u32::try_from(order).ok().and_then(|o| ScanSpec::inclusive().with_order(o).ok()).is_none() {
@@ -268,6 +315,114 @@ fn main() {
         }
     }
 
+    // Adaptive-plans benchmark: frozen baseline vs converged adaptive
+    // plan per grid point, plus one deliberately mis-tuned start.
+    let mut adaptive_records: Vec<AdaptiveRecord> = Vec::new();
+    if adaptive_mode {
+        // Episodes must be cheap enough to drive hundreds of them but big
+        // enough to clear the driver's observation floor by a wide margin.
+        let adaptive_n = max_n.min(1 << 20);
+        let data = &input[..adaptive_n];
+        let mut out = vec![0i64; adaptive_n];
+        for &order in &orders {
+            for &tuple in &tuples {
+                let spec = ScanSpec::inclusive()
+                    .with_order(order as u32)
+                    .expect("valid order")
+                    .with_tuple(tuple)
+                    .expect("valid tuple");
+                let rec = bench_adaptive_point(
+                    "default",
+                    spec,
+                    Engine::Cpu(cpu.clone()),
+                    data,
+                    &mut out,
+                    &measure,
+                );
+                eprintln!(
+                    "adaptive n=2^{:<2} order={order} tuple={tuple}: frozen {:>10.0} \
+                     -> converged {:>10.0} elems/s ({:.2}x, {} episodes{})",
+                    adaptive_n.ilog2(),
+                    rec.frozen_elems_per_sec,
+                    rec.adaptive_elems_per_sec,
+                    rec.adaptive_elems_per_sec / rec.frozen_elems_per_sec,
+                    rec.episodes_to_converge.map_or("?".into(), |e| e.to_string()),
+                    if rec.seeded { ", seeded" } else { "" },
+                );
+                adaptive_records.push(rec);
+            }
+        }
+        // The mis-tuned start: oversubscribed workers and tiny chunks —
+        // the search must claw back what these frozen constants lose.
+        // Isolated from the tuning store (this binary is single-threaded,
+        // so the env mutation races nothing): a persisted optimum would
+        // seed the plan straight past the recovery being demonstrated.
+        let saved_dir = std::env::var_os(sam_core::adapt::TuningStore::ENV_DIR);
+        std::env::remove_var(sam_core::adapt::TuningStore::ENV_DIR);
+        let mistuned_order = orders.iter().copied().max().unwrap_or(1);
+        let spec = ScanSpec::inclusive()
+            .with_order(mistuned_order as u32)
+            .expect("valid order");
+        let mistuned = CpuScanner::new((cpu.workers() * 4).max(4)).with_chunk_elems(4096);
+        let rec = bench_adaptive_point(
+            "mistuned",
+            spec,
+            Engine::Cpu(mistuned),
+            data,
+            &mut out,
+            &measure,
+        );
+        eprintln!(
+            "adaptive n=2^{:<2} order={mistuned_order} tuple=1 (mis-tuned start): \
+             frozen {:>10.0} -> converged {:>10.0} elems/s ({:.2}x)",
+            adaptive_n.ilog2(),
+            rec.frozen_elems_per_sec,
+            rec.adaptive_elems_per_sec,
+            rec.adaptive_elems_per_sec / rec.frozen_elems_per_sec,
+        );
+        adaptive_records.push(rec);
+        if let Some(dir) = saved_dir {
+            std::env::set_var(sam_core::adapt::TuningStore::ENV_DIR, dir);
+        }
+
+        let mut failures: Vec<String> = Vec::new();
+        if check_adaptive {
+            for r in &adaptive_records {
+                let ratio = r.adaptive_elems_per_sec / r.frozen_elems_per_sec;
+                // Default starts: the converged plan had the frozen
+                // geometry in its candidate set, so anything clearly below
+                // parity is a regression (0.8 tolerates shared-host
+                // noise). Mis-tuned starts must recover past their frozen
+                // baseline outright.
+                let floor = if r.start == "mistuned" { 1.0 } else { 0.8 };
+                if ratio < floor {
+                    failures.push(format!(
+                        "order={} tuple={} start={}: converged {:.3e} < {floor} x \
+                         frozen {:.3e} (ratio {ratio:.2})",
+                        r.order, r.tuple, r.start, r.adaptive_elems_per_sec,
+                        r.frozen_elems_per_sec,
+                    ));
+                }
+            }
+        }
+        if assert_seeded {
+            for r in adaptive_records.iter().filter(|r| r.start == "default") {
+                if !r.seeded {
+                    failures.push(format!(
+                        "order={} tuple={}: plan did not start from a persisted tuning",
+                        r.order, r.tuple
+                    ));
+                }
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("adaptive check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"cpu_scan_throughput\",\n");
     let _ = writeln!(json, "  \"elem\": \"i64\", \"op\": \"sum\", \"kind\": \"inclusive\",");
@@ -284,9 +439,104 @@ fn main() {
         );
         json.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
     }
-    json.push_str("  ]\n}\n");
+    if adaptive_records.is_empty() {
+        json.push_str("  ]\n}\n");
+    } else {
+        json.push_str("  ],\n  \"adaptive_results\": [\n");
+        for (i, r) in adaptive_records.iter().enumerate() {
+            let mut traj = String::new();
+            for (j, (episode, eps)) in r.trajectory.iter().enumerate() {
+                let _ = write!(traj, "[{episode}, {eps:.4e}]");
+                if j + 1 != r.trajectory.len() {
+                    traj.push_str(", ");
+                }
+            }
+            let _ = write!(
+                json,
+                "    {{\"start\": \"{}\", \"n\": {}, \"order\": {}, \"tuple\": {}, \
+                 \"frozen_elems_per_sec\": {:.6e}, \"adaptive_elems_per_sec\": {:.6e}, \
+                 \"episodes_to_converge\": {}, \"seeded\": {}, \"trajectory\": [{traj}]}}",
+                r.start,
+                r.n,
+                r.order,
+                r.tuple,
+                r.frozen_elems_per_sec,
+                r.adaptive_elems_per_sec,
+                r.episodes_to_converge.map_or("null".into(), |e| e.to_string()),
+                r.seeded,
+            );
+            json.push_str(if i + 1 == adaptive_records.len() { "\n" } else { ",\n" });
+        }
+        json.push_str("  ]\n}\n");
+    }
     std::fs::write(&out_path, json).expect("write output JSON");
-    eprintln!("wrote {out_path} ({} configurations)", records.len());
+    eprintln!(
+        "wrote {out_path} ({} configurations)",
+        records.len() + adaptive_records.len()
+    );
+}
+
+/// The shared measurement protocol's shape: runs the runner to best-of
+/// within the time budget, returning `(best_secs, reps)`.
+type Measure<'a> = &'a dyn Fn(&mut dyn FnMut()) -> (f64, u32);
+
+/// Benchmarks one adaptive grid point: measures the frozen baseline on
+/// `engine`, drives a `PlanHint::adaptive()` plan on the same engine to
+/// convergence (recording the trajectory), then measures the converged
+/// steady state with the same protocol.
+fn bench_adaptive_point(
+    start: &'static str,
+    spec: ScanSpec,
+    engine: Engine,
+    data: &[i64],
+    out: &mut [i64],
+    measure: Measure<'_>,
+) -> AdaptiveRecord {
+    let n = data.len();
+    let frozen = ScanPlan::new(spec, engine.clone(), PlanHint::default());
+    let (frozen_best, _) = measure(&mut || frozen.scan_into(data, out, &Sum));
+
+    let plan = ScanPlan::new(spec, engine, PlanHint::adaptive());
+    let seeded = plan
+        .adaptive_snapshot()
+        .map(|s| s.seeded)
+        .unwrap_or(false);
+    // Drive the search. Seeded plans are already converged; fresh plans
+    // need warmup + climb episodes (typically a few hundred).
+    const EPISODE_CAP: u64 = 4000;
+    let mut raw_trajectory: Vec<(u64, f64)> = Vec::new();
+    let mut episodes_to_converge = None;
+    for episode in 0..EPISODE_CAP {
+        let snap = plan.adaptive_snapshot().expect("adaptive plan");
+        if snap.phase == sam_core::adapt::DriverPhase::Steady {
+            episodes_to_converge = Some(snap.episodes);
+            break;
+        }
+        let t = Instant::now();
+        plan.scan_into(data, out, &Sum);
+        let secs = t.elapsed().as_secs_f64();
+        raw_trajectory.push((episode, n as f64 / secs));
+    }
+    // Downsample the per-episode trajectory to <= 32 points for the JSON.
+    let stride = raw_trajectory.len().div_ceil(32).max(1);
+    let trajectory: Vec<(u64, f64)> = raw_trajectory
+        .iter()
+        .step_by(stride)
+        .copied()
+        .collect();
+
+    let (adaptive_best, _) = measure(&mut || plan.scan_into(data, out, &Sum));
+    AdaptiveRecord {
+        start,
+        n,
+        order: spec.order(),
+        tuple: spec.tuple(),
+        frozen_elems_per_sec: n as f64 / frozen_best,
+        adaptive_elems_per_sec: n as f64 / adaptive_best,
+        episodes_to_converge,
+        seeded,
+        trajectory,
+    }
 }
 
 fn run_once(

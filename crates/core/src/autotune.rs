@@ -35,8 +35,11 @@ pub struct TuningTable {
     fallback: usize,
 }
 
-/// Candidate items-per-thread values the tuner considers.
-const CANDIDATES: [usize; 8] = [1, 2, 4, 6, 8, 12, 16, 24];
+/// Candidate items-per-thread values the tuner considers. Shared with the
+/// online driver ([`crate::adapt`]), whose chunk-size grid is derived from
+/// these shapes so the install-time and run-time tuners explore the same
+/// family of geometries.
+pub(crate) const CANDIDATES: [usize; 8] = [1, 2, 4, 6, 8, 12, 16, 24];
 
 /// Problem-size decade boundaries the tuner optimizes separately.
 const SIZE_CLASSES: [u64; 11] = [

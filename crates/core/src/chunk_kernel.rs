@@ -467,7 +467,7 @@ fn cascade_totals_generic<T: Copy, Op: ScanOp<T> + ?Sized>(
 // ~1.2–1.5× on the fused pass once the output no longer fits in cache.
 // (Every consumer in this file is x86-64-only, hence the gated import.)
 #[cfg(target_arch = "x86_64")]
-use crate::simd::NT_STORE_MIN_BYTES;
+use crate::simd::nt_store_min_bytes;
 
 /// Scans one `BLOCK`-element block with Hillis–Steele steps 1, 2, 4, 8
 /// (double-buffered between two register arrays so every step is a
@@ -513,7 +513,7 @@ fn sum_blocks_from<T: ScanElement>(src: &[T], dst: &mut [T], carry: T) -> T {
         return c;
     }
     #[cfg(target_arch = "x86_64")]
-    if std::mem::size_of_val(src) >= NT_STORE_MIN_BYTES
+    if std::mem::size_of_val(src) >= nt_store_min_bytes()
         && 16 % std::mem::size_of::<T>() == 0
     {
         return sum_blocks_from_nt(src, dst, carry);
@@ -1240,13 +1240,13 @@ mod tests {
         ((x >> 32) as u32, x as u32)
     }
 
-    /// Inputs past [`NT_STORE_MIN_BYTES`] take the non-temporal store path;
+    /// Inputs past [`nt_store_min_bytes`] take the non-temporal store path;
     /// the exclusive form scans into `dst[1..]`, whose start is not 16-byte
     /// aligned, exercising the scalar alignment prologue.
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn nt_store_path_matches_cached_for_large_inputs() {
-        let n = NT_STORE_MIN_BYTES / std::mem::size_of::<i64>() + 37;
+        let n = nt_store_min_bytes() / std::mem::size_of::<i64>() + 37;
         let input = pseudo_random(n, 21);
         let mut expect = input.clone();
         reference_inclusive(&Sum, &mut expect, 1);

@@ -141,6 +141,21 @@ impl ScanSpec {
     pub fn lane_state_len(&self) -> usize {
         self.order as usize * self.tuple
     }
+
+    /// A stable, human-readable fingerprint of the spec — the per-spec half
+    /// of the [`crate::adapt::TuningStore`] key (the other half names the
+    /// host). Kind is deliberately excluded: inclusive and exclusive scans
+    /// share geometry (the exclusive form is an in-place rewrite of the
+    /// inclusive result), so they share tunings.
+    ///
+    /// ```
+    /// use sam_core::ScanSpec;
+    /// let spec = ScanSpec::inclusive().with_order(3).unwrap().with_tuple(2).unwrap();
+    /// assert_eq!(spec.fingerprint(), "q3s2");
+    /// ```
+    pub fn fingerprint(&self) -> String {
+        format!("q{}s{}", self.order, self.tuple)
+    }
 }
 
 /// Error constructing a [`ScanSpec`].

@@ -119,13 +119,18 @@ impl std::fmt::Debug for CpuScanner {
     }
 }
 
+/// The default chunk size in elements — a fallback seed only: adaptive
+/// plans ([`crate::plan::PlanHint::adaptive`]) treat it as the starting
+/// point of the chunk-size search, not as a tuned truth.
+pub(crate) const DEFAULT_CHUNK_ELEMS: usize = 32 * 1024;
+
 impl Default for CpuScanner {
     /// One worker per available hardware thread, 32Ki-element chunks.
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
         CpuScanner {
             workers,
-            chunk_elems: 32 * 1024,
+            chunk_elems: DEFAULT_CHUNK_ELEMS,
             arena: Mutex::new(Arena::default()),
             sched: None,
             trace: None,
@@ -230,7 +235,51 @@ impl CpuScanner {
         T: Pod64,
         Op: ChunkKernel<T>,
     {
+        self.scan_into_geom(
+            input,
+            out,
+            op,
+            spec,
+            self.workers,
+            self.chunk_elems,
+            crate::plan::kernel_path(op, spec),
+        );
+    }
+
+    /// [`CpuScanner::scan_into`] with an explicit geometry — worker count,
+    /// chunk size, and cascade-vs-iterated selection — overriding the
+    /// scanner's configuration for this one call. This is the entry point
+    /// adaptive plans ([`crate::adapt`]) explore geometries through; worker
+    /// threads are spawned per scan, so a per-call worker count is safe.
+    ///
+    /// An illegal cascade request is downgraded to the iterated kernels
+    /// (never honored), so any `(workers, chunk_elems, path)` triple is
+    /// safe to pass. For exactly-associative operators every geometry is
+    /// bit-identical; for merely pseudo-associative operators (floats) the
+    /// chunk decomposition is observable, which is why adaptive plans only
+    /// vary geometry under [`ChunkKernel::supports_cascade`] operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != input.len()`, `workers == 0`, or
+    /// `chunk_elems == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_into_geom<T, Op>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+        op: &Op,
+        spec: &ScanSpec,
+        workers: usize,
+        chunk_elems: usize,
+        path: crate::plan::KernelPath,
+    ) where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
         assert_eq!(input.len(), out.len(), "output length must match input");
+        assert!(workers > 0, "worker count must be positive");
+        assert!(chunk_elems > 0, "chunk size must be positive");
         let n = input.len();
         if n == 0 {
             return;
@@ -241,13 +290,21 @@ impl CpuScanner {
             // (see `obs::charge_elem_pass`). Covers all three paths below.
             obs::charge_elem_pass(sink.metrics(), n, std::mem::size_of::<T>());
         }
-        let num_chunks = chunkops::num_chunks(n, self.chunk_elems);
-        let k = self.workers.min(num_chunks);
+        let legal_cascade = spec.order() > 1 && op.supports_cascade();
+        let path = if path == crate::plan::KernelPath::Cascade && legal_cascade {
+            crate::plan::KernelPath::Cascade
+        } else {
+            crate::plan::KernelPath::Iterated
+        };
+        let num_chunks = chunkops::num_chunks(n, chunk_elems);
+        let k = workers.min(num_chunks);
         if k == 1 {
             // Single worker: the fused serial kernels, reading the input
-            // exactly once and writing only `out`.
+            // exactly once and writing only `out`. The path override still
+            // applies — on a single-core host this is the only place the
+            // cascade-vs-iterated knob can bite.
             obs::timed(self.trace.as_deref(), 0, 0, Phase::ChunkScan, || {
-                crate::serial::scan_into(input, out, op, spec)
+                crate::serial::scan_into_path(input, out, op, spec, path)
             });
             return;
         }
@@ -255,10 +312,10 @@ impl CpuScanner {
         let q = spec.order() as usize;
         let s = spec.tuple();
         let exclusive = spec.kind() == ScanKind::Exclusive;
-        if crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade {
+        if path == crate::plan::KernelPath::Cascade {
             // Single-pass protocol: all q*s local sums published from one
             // sweep, one ready round per chunk, binomial-weighted carries.
-            self.scan_into_cascade(input, out, op, q, s, exclusive);
+            self.scan_into_cascade(input, out, op, q, s, exclusive, workers, chunk_elems);
             return;
         }
         // Sum slot for (chunk c, iteration i, lane l).
@@ -283,7 +340,6 @@ impl CpuScanner {
         let ready = &arena.ready[..num_chunks];
 
         let out_ptr = SyncSlice(out.as_mut_ptr());
-        let chunk_elems = self.chunk_elems;
 
         let cancel = Arc::new(AtomicBool::new(false));
         let sched = self.sched.clone();
@@ -424,6 +480,7 @@ impl CpuScanner {
     /// base is lane-aligned and every chunk-to-chunk lane distance is the
     /// uniform `chunk_elems / s` (the carry-plan requirement; the last
     /// chunk may be short but is never a predecessor).
+    #[allow(clippy::too_many_arguments)]
     fn scan_into_cascade<T, Op>(
         &self,
         input: &[T],
@@ -432,14 +489,16 @@ impl CpuScanner {
         q: usize,
         s: usize,
         exclusive: bool,
+        workers: usize,
+        chunk_elems: usize,
     ) where
         T: Pod64,
         Op: ChunkKernel<T>,
     {
         let n = input.len();
-        let chunk_elems = self.chunk_elems.div_ceil(s) * s;
+        let chunk_elems = chunk_elems.div_ceil(s) * s;
         let num_chunks = chunkops::num_chunks(n, chunk_elems);
-        let k = self.workers.min(num_chunks);
+        let k = workers.min(num_chunks);
         if k == 1 {
             obs::timed(self.trace.as_deref(), 0, 0, Phase::ChunkScan, || {
                 crate::serial::scan_into(input, out, op, &spec_of(q, s, exclusive))

@@ -1,0 +1,103 @@
+//! Process-wide serialization for tests that mutate environment variables.
+//!
+//! `cargo test` runs tests concurrently in one process, and the
+//! environment is process-global: two tests that set [`SAM_FORCE_KERNEL`]
+//! or [`SAM_TUNING_DIR`] concurrently race — one test observes the
+//! other's value, or a restore clobbers a fresh set. Any test that calls
+//! `std::env::set_var` / `remove_var` on a `SAM_*` knob must hold the
+//! guard returned by [`EnvGuard::set`] / [`EnvGuard::unset`] (or
+//! [`lock`], for read-only assertions that must not observe a mutation in
+//! flight) for the mutation's whole scope.
+//!
+//! The guard restores the variable's previous value on drop, so a
+//! panicking test does not leak its override into later tests; the shared
+//! mutex recovers from poisoning for the same reason.
+//!
+//! [`SAM_FORCE_KERNEL`]: crate::isa
+//! [`SAM_TUNING_DIR`]: crate::adapt::TuningStore::ENV_DIR
+
+use std::sync::{Mutex, MutexGuard};
+
+/// The process-wide environment mutex.
+static ENV_MUTEX: Mutex<()> = Mutex::new(());
+
+/// Acquires the environment lock without mutating anything — for tests
+/// that only *read* an env-sensitive knob but must not race a mutator.
+pub fn lock() -> MutexGuard<'static, ()> {
+    // A panic while holding the lock poisons it; the env itself is
+    // restored by EnvGuard's Drop, so the poison carries no information.
+    ENV_MUTEX.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Holds the environment lock and one variable's override; restores the
+/// variable's previous state (value or absence) when dropped.
+///
+/// One guard at a time: constructing a second guard on the same thread
+/// while the first is live deadlocks (the lock is not reentrant). Scope a
+/// single guard around the whole env-sensitive section instead.
+#[must_use = "the override is reverted when the guard drops"]
+pub struct EnvGuard {
+    key: &'static str,
+    prior: Option<std::ffi::OsString>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl EnvGuard {
+    /// Locks the environment and sets `key = value` until drop.
+    pub fn set(key: &'static str, value: impl AsRef<std::ffi::OsStr>) -> EnvGuard {
+        let _lock = lock();
+        let prior = std::env::var_os(key);
+        std::env::set_var(key, value);
+        EnvGuard { key, prior, _lock }
+    }
+
+    /// Locks the environment and removes `key` until drop.
+    pub fn unset(key: &'static str) -> EnvGuard {
+        let _lock = lock();
+        let prior = std::env::var_os(key);
+        std::env::remove_var(key);
+        EnvGuard { key, prior, _lock }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match self.prior.take() {
+            Some(v) => std::env::set_var(self.key, v),
+            None => std::env::remove_var(self.key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_restores_prior_value() {
+        const KEY: &str = "SAM_ENVLOCK_TEST_RESTORE";
+        {
+            let _outer = EnvGuard::set(KEY, "outer");
+            assert_eq!(std::env::var(KEY).as_deref(), Ok("outer"));
+        }
+        assert!(std::env::var_os(KEY).is_none(), "absence restored");
+    }
+
+    #[test]
+    fn unset_guard_removes_and_restores() {
+        const KEY: &str = "SAM_ENVLOCK_TEST_UNSET";
+        // Seed a value outside any guard, then unset under guard.
+        {
+            let _g = EnvGuard::set(KEY, "seeded");
+            // Dropping restores absence; re-seed without a guard for the
+            // second phase of the test.
+        }
+        std::env::set_var(KEY, "seeded");
+        {
+            let _g = EnvGuard::unset(KEY);
+            assert!(std::env::var_os(KEY).is_none());
+        }
+        assert_eq!(std::env::var(KEY).as_deref(), Ok("seeded"));
+        std::env::remove_var(KEY);
+    }
+}

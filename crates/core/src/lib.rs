@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adapt;
 pub mod autotune;
 pub mod block_scan;
 pub mod carry;
@@ -43,6 +44,7 @@ pub mod chunkops;
 pub mod config;
 pub mod cpu;
 pub mod element;
+pub mod envlock;
 pub mod isa;
 pub mod kernel;
 pub mod obs;
@@ -54,6 +56,7 @@ pub mod serial;
 pub mod simd;
 pub mod validate;
 
+pub use adapt::{Cost, DriverPhase, Geometry, TuningStore};
 pub use chunk_kernel::ChunkKernel;
 pub use config::{ScanKind, ScanSpec, SpecError};
 pub use element::{IntElement, ScanElement};

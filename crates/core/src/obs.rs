@@ -366,6 +366,28 @@ pub struct ScanReport {
 }
 
 impl ScanReport {
+    /// Observed throughput in elements per second, the primary cost signal
+    /// of adaptive plans ([`crate::adapt::Cost`]). Zero-duration scans
+    /// (sub-microsecond wall time) report 0.0 rather than infinity.
+    pub fn elems_per_sec(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.n as f64 / (self.wall_us as f64 / 1e6)
+    }
+
+    /// Fraction of total span time spent in [`Phase::CarryWait`] — the
+    /// adaptive cost signal's tie-breaker: of two geometries with
+    /// indistinguishable throughput, prefer the one wasting less time
+    /// blocked on predecessors.
+    pub fn carry_wait_fraction(&self) -> f64 {
+        let total: u64 = self.spans.iter().map(|s| s.dur_us).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.phase_us(Phase::CarryWait) as f64 / total as f64
+    }
+
     /// Total microseconds spent in `phase`, summed over all spans.
     pub fn phase_us(&self, phase: Phase) -> u64 {
         self.spans

@@ -115,6 +115,17 @@ pub struct PlanHint {
     /// [`ScanReport`] ([`ScanPlan::last_report`]). Off by default — the
     /// untraced hot path stays free of clocks and span bookkeeping.
     pub trace: bool,
+    /// Enables online feedback-directed tuning ([`crate::adapt`]): the
+    /// plan measures every scan and re-tunes its geometry (chunk size,
+    /// worker count, kernel path, crossover and NT-store thresholds) from
+    /// the observations, persisting the converged tuning when
+    /// `SAM_TUNING_DIR` is set. Adaptation never changes results: only
+    /// operators with exact carry algebra
+    /// ([`ChunkKernel::supports_cascade`]) vary geometry, and every
+    /// explored geometry is bit-identical to the default plan. Other
+    /// operators, and [`Engine::Simulated`] plans, run frozen. Off by
+    /// default.
+    pub adaptive: bool,
 }
 
 impl PlanHint {
@@ -126,9 +137,25 @@ impl PlanHint {
         }
     }
 
+    /// A hint enabling online feedback-directed tuning (see
+    /// [`PlanHint::adaptive`]).
+    pub fn adaptive() -> Self {
+        PlanHint {
+            adaptive: true,
+            ..PlanHint::default()
+        }
+    }
+
     /// Enables per-scan tracing and reporting (see [`crate::obs`]).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables online feedback-directed tuning (see
+    /// [`PlanHint::adaptive`]).
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
         self
     }
 }
@@ -168,6 +195,89 @@ impl std::fmt::Debug for PlanExec {
     }
 }
 
+/// The shared mutable half of an adaptive plan: the online search driver
+/// plus its persistence. Plan clones and sessions share one state behind
+/// [`Arc`], so every scan anywhere on the plan feeds the same search.
+#[derive(Debug)]
+struct AdaptiveState {
+    driver: std::sync::Mutex<crate::adapt::Driver>,
+    store: Option<crate::adapt::TuningStore>,
+    key: String,
+    /// True while the currently-converged tuning has been persisted (or
+    /// needs no persistence); cleared when drift re-opens the search so
+    /// the next convergence is saved again.
+    saved: std::sync::atomic::AtomicBool,
+}
+
+impl AdaptiveState {
+    /// Builds the driver around the plan's frozen geometry, seeding it
+    /// from the [`crate::adapt::TuningStore`] named by `SAM_TUNING_DIR`
+    /// when a tuning for this `(spec, host)` is already on disk — the
+    /// second process start begins at the learned optimum.
+    fn new(spec: &ScanSpec, workers: usize, chunk_elems: usize, threshold: usize) -> AdaptiveState {
+        let mut frozen = crate::adapt::Geometry::frozen(spec, workers, chunk_elems);
+        frozen.threshold = threshold;
+        let store = crate::adapt::TuningStore::from_env();
+        let key = crate::adapt::tuning_key(spec);
+        let stored = store.as_ref().and_then(|s| s.load(&key));
+        let seeded = stored.is_some();
+        let cfg = crate::adapt::DriverConfig::default();
+        let driver = match &stored {
+            Some(tuning) => crate::adapt::Driver::seeded(cfg, frozen, workers, tuning),
+            None => crate::adapt::Driver::new(cfg, frozen, workers),
+        };
+        AdaptiveState {
+            driver: std::sync::Mutex::new(driver),
+            store,
+            key,
+            saved: std::sync::atomic::AtomicBool::new(seeded),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, crate::adapt::Driver> {
+        // A panic mid-observe cannot corrupt the driver (observe mutates
+        // plain scalars), so poisoning is recovered rather than spread.
+        self.driver.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The geometry the next scan should run with. Allocation-free.
+    fn begin(&self) -> crate::adapt::Geometry {
+        self.lock().geometry()
+    }
+
+    /// Feeds one episode's cost back and persists on the convergence
+    /// transition. Allocation-free in the steady state: the save path
+    /// (which allocates) runs once per convergence, guarded by `saved`.
+    fn finish(&self, cost: crate::adapt::Cost) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let to_save = {
+            let mut driver = self.lock();
+            driver.observe(cost);
+            if !driver.converged() {
+                self.saved.store(false, Relaxed);
+                None
+            } else if !self.saved.swap(true, Relaxed) {
+                Some(crate::adapt::StoredTuning {
+                    geometry: driver.best(),
+                    score: driver.best_score(),
+                    episodes: driver.episodes(),
+                })
+            } else {
+                None
+            }
+        };
+        if let (Some(tuning), Some(store)) = (to_save, &self.store) {
+            // Persistence is best-effort: a read-only or vanished tuning
+            // directory must never break a scan.
+            let _ = store.save(&self.key, &tuning);
+        }
+    }
+
+    fn snapshot(&self) -> crate::adapt::AdaptiveSnapshot {
+        self.lock().snapshot()
+    }
+}
+
 /// An immutable scan plan: validated spec + resolved per-call decisions +
 /// owned engine resources. Construct once, scan many times.
 ///
@@ -200,6 +310,10 @@ pub struct ScanPlan {
     /// Present iff the hint enabled tracing; shared by plan clones and
     /// sessions so reports stay retrievable from any handle.
     trace: Option<Arc<TraceSink>>,
+    /// Present iff the hint enabled adaptation (and the engine supports
+    /// it); shared by plan clones and sessions so every scan feeds one
+    /// search.
+    adaptive: Option<Arc<AdaptiveState>>,
 }
 
 impl ScanPlan {
@@ -247,12 +361,41 @@ impl ScanPlan {
                 dur_us,
             });
         }
+        let adaptive = if hint.adaptive {
+            match &exec {
+                PlanExec::Serial => Some(Arc::new(AdaptiveState::new(
+                    &spec,
+                    1,
+                    crate::cpu::DEFAULT_CHUNK_ELEMS,
+                    auto_parallel_threshold(spec.order(), spec.tuple()),
+                ))),
+                PlanExec::Cpu(cpu) => Some(Arc::new(AdaptiveState::new(
+                    &spec,
+                    cpu.workers(),
+                    cpu.chunk_elems(),
+                    auto_parallel_threshold(spec.order(), spec.tuple()),
+                ))),
+                PlanExec::Auto { threshold, cpu } => Some(Arc::new(AdaptiveState::new(
+                    &spec,
+                    cpu.workers(),
+                    cpu.chunk_elems(),
+                    *threshold,
+                ))),
+                // The simulated device has its own install-time tuner
+                // ([`crate::autotune`]); online adaptation targets the
+                // host engines.
+                PlanExec::Gpu { .. } => None,
+            }
+        } else {
+            None
+        };
         ScanPlan {
             spec,
             exec,
             hint,
             isa: crate::isa::resolved(),
             trace: sink,
+            adaptive,
         }
     }
 
@@ -323,14 +466,35 @@ impl ScanPlan {
         Op: ChunkKernel<T>,
     {
         assert_eq!(input.len(), out.len(), "output length must match input");
+        // Adaptive plans resolve this call's geometry from the driver —
+        // but only for operators whose carry algebra is exact
+        // ([`ChunkKernel::supports_cascade`]): geometry changes are
+        // observable through any other operator's fold association, so
+        // those run the frozen plan and never feed the search.
+        let adaptive = self.adaptive.as_ref().filter(|_| op.supports_cascade());
+        let geom = adaptive.map(|state| state.begin());
+        if let Some(g) = geom {
+            // Process-global by design (kernel dispatch sees no plan
+            // state); the last adaptive scan to start wins, which is
+            // benign — every threshold value is bit-identical.
+            crate::simd::set_nt_store_min_bytes(g.nt_min_bytes);
+        }
+        // Episodes below the floor run the probe geometry but are not
+        // scored: their throughput measures fixed overhead, not geometry.
+        let observing = adaptive.is_some() && input.len() >= crate::adapt::ADAPT_MIN_ELEMS;
         match &self.trace {
             None => {
-                self.dispatch(input, out, op);
+                let t0 = observing.then(std::time::Instant::now);
+                self.dispatch(input, out, op, geom);
+                if let (Some(state), Some(t0)) = (adaptive, t0) {
+                    let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    state.finish(crate::adapt::Cost::from_wall(input.len(), nanos));
+                }
             }
             Some(sink) => {
                 let before = self.metrics_snapshot(sink);
                 let t0 = sink.now_us();
-                let engine = self.dispatch(input, out, op);
+                let engine = self.dispatch(input, out, op, geom);
                 let wall_us = sink.now_us().saturating_sub(t0);
                 if engine == "serial" {
                     // The serial engine has no internal hooks: the plan
@@ -347,33 +511,57 @@ impl ScanPlan {
                 }
                 let delta = self.metrics_snapshot(sink).since(&before);
                 self.finish_report(sink, engine, input.len(), t0, wall_us, delta);
+                if observing {
+                    if let (Some(state), Some(report)) = (adaptive, self.last_report()) {
+                        // Traced episodes fold the carry-wait fraction
+                        // into the cost as the tie-breaker signal.
+                        state.finish(crate::adapt::Cost::from_report(&report));
+                    }
+                }
             }
         }
     }
 
     /// The untraced dispatch: runs the scan on the resolved engine and
-    /// names the engine that actually executed (adaptive plans decide per
-    /// call).
-    fn dispatch<T, Op>(&self, input: &[T], out: &mut [T], op: &Op) -> &'static str
+    /// names the engine that actually executed. `geom` (adaptive plans,
+    /// exact operators only) overrides the frozen geometry — worker
+    /// count, chunk size, kernel path, and the Auto crossover; `None`
+    /// runs the plan exactly as frozen.
+    fn dispatch<T, Op>(
+        &self,
+        input: &[T],
+        out: &mut [T],
+        op: &Op,
+        geom: Option<crate::adapt::Geometry>,
+    ) -> &'static str
     where
         T: Pod64,
         Op: ChunkKernel<T>,
     {
         match &self.exec {
             PlanExec::Serial => {
-                crate::serial::scan_into(input, out, op, &self.spec);
+                match geom {
+                    Some(g) => crate::serial::scan_into_path(input, out, op, &self.spec, g.path),
+                    None => crate::serial::scan_into(input, out, op, &self.spec),
+                }
                 "serial"
             }
             PlanExec::Cpu(cpu) => {
-                cpu.scan_into(input, out, op, &self.spec);
+                self.dispatch_cpu(cpu, input, out, op, geom);
                 "cpu"
             }
             PlanExec::Auto { threshold, cpu } => {
-                if input.len() < *threshold {
-                    crate::serial::scan_into(input, out, op, &self.spec);
+                let crossover = geom.map_or(*threshold, |g| g.threshold);
+                if input.len() < crossover {
+                    match geom {
+                        Some(g) => {
+                            crate::serial::scan_into_path(input, out, op, &self.spec, g.path)
+                        }
+                        None => crate::serial::scan_into(input, out, op, &self.spec),
+                    }
                     "serial"
                 } else {
-                    cpu.scan_into(input, out, op, &self.spec);
+                    self.dispatch_cpu(cpu, input, out, op, geom);
                     "cpu"
                 }
             }
@@ -382,6 +570,27 @@ impl ScanPlan {
                 out.copy_from_slice(&result);
                 "gpu-sim"
             }
+        }
+    }
+
+    /// Runs on the plan's CPU engine, with the adaptive geometry override
+    /// when present.
+    fn dispatch_cpu<T, Op>(
+        &self,
+        cpu: &CpuScanner,
+        input: &[T],
+        out: &mut [T],
+        op: &Op,
+        geom: Option<crate::adapt::Geometry>,
+    ) where
+        T: Pod64,
+        Op: ChunkKernel<T>,
+    {
+        match geom {
+            Some(g) => {
+                cpu.scan_into_geom(input, out, op, &self.spec, g.workers, g.chunk_elems, g.path)
+            }
+            None => cpu.scan_into(input, out, op, &self.spec),
         }
     }
 
@@ -435,6 +644,19 @@ impl ScanPlan {
     /// The plan's [`TraceSink`], when tracing is enabled.
     pub fn trace_sink(&self) -> Option<&TraceSink> {
         self.trace.as_deref()
+    }
+
+    /// True when this plan adapts its geometry online
+    /// ([`PlanHint::adaptive`] on an engine that supports it).
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// A point-in-time view of the adaptive search (adaptive plans only):
+    /// current probe and incumbent geometry, phase, episode count, and
+    /// whether the driver was seeded from a persisted tuning.
+    pub fn adaptive_snapshot(&self) -> Option<crate::adapt::AdaptiveSnapshot> {
+        self.adaptive.as_ref().map(|state| state.snapshot())
     }
 
     /// Allocating convenience form of [`ScanPlan::scan_into`].

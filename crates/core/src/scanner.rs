@@ -49,6 +49,14 @@ use gpu_sim::DeviceSpec;
 /// This constant is the order-1 tuple-1 calibration point;
 /// [`auto_parallel_threshold`] scales it per spec shape, and
 /// [`Engine::auto`] uses that scaled value.
+///
+/// **Fallback seed only.** Like every frozen geometry constant (the CPU
+/// engine's default chunk size, the NT-store threshold in
+/// [`crate::simd`]), this is the *starting point* of the online search,
+/// not a tuned truth: adaptive plans ([`crate::plan::PlanHint::adaptive`])
+/// take their initial crossover from here via
+/// [`crate::adapt::Geometry::frozen`] and then re-tune it per call from
+/// observed throughput. Non-adaptive plans run this value as-is.
 pub const AUTO_PARALLEL_THRESHOLD: usize = 1 << 14;
 
 /// Serial↔parallel crossover (elements) for a scan of the given `order` and
@@ -70,6 +78,10 @@ pub const AUTO_PARALLEL_THRESHOLD: usize = 1 << 14;
 /// the crossover halves too. The result is floored at `1 << 11` — below
 /// that, chunk-count limits leave too little parallelism to recover the
 /// startup cost at any spec shape.
+///
+/// Like [`AUTO_PARALLEL_THRESHOLD`], this is the fallback seed: adaptive
+/// plans use it only as the initial geometry ([`crate::adapt`]) and
+/// re-tune the crossover online.
 pub fn auto_parallel_threshold(order: u32, tuple: usize) -> usize {
     const FLOOR: usize = 1 << 11;
     let mut threshold = AUTO_PARALLEL_THRESHOLD / (order.max(1) as usize);

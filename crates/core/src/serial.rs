@@ -99,10 +99,32 @@ pub fn scan_in_place<T: Copy>(data: &mut [T], op: &impl ChunkKernel<T>, spec: &S
 ///
 /// Panics if `out.len() != input.len()`.
 pub fn scan_into<T: Copy>(input: &[T], out: &mut [T], op: &impl ChunkKernel<T>, spec: &ScanSpec) {
+    scan_into_path(input, out, op, spec, crate::plan::kernel_path(op, spec));
+}
+
+/// [`scan_into`] with an explicit cascade-vs-iterated selection — the entry
+/// point adaptive plans use to explore the [`KernelPath`] knob.
+///
+/// An illegal request is downgraded, never honored: `path` may force the
+/// iterated kernels where [`kernel_path`] would pick the cascade, but a
+/// cascade request for an operator/spec the gate rejects silently runs
+/// iterated. Both paths are bit-identical wherever both are legal, so this
+/// only ever changes speed.
+///
+/// [`KernelPath`]: crate::plan::KernelPath
+/// [`kernel_path`]: crate::plan::kernel_path
+pub(crate) fn scan_into_path<T: Copy>(
+    input: &[T],
+    out: &mut [T],
+    op: &impl ChunkKernel<T>,
+    spec: &ScanSpec,
+    path: crate::plan::KernelPath,
+) {
     assert_eq!(input.len(), out.len(), "output length must match input");
     let s = spec.tuple();
     let q = spec.order();
-    if crate::plan::kernel_path(op, spec) == crate::plan::KernelPath::Cascade {
+    let legal = spec.order() > 1 && op.supports_cascade();
+    if path == crate::plan::KernelPath::Cascade && legal {
         // Single-pass fused cascade: input read once, output written once,
         // independent of order.
         let exclusive = spec.kind() == ScanKind::Exclusive;

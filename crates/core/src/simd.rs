@@ -81,7 +81,36 @@ use crate::isa::Isa;
 ///
 /// Defined on every target (only the x86-64 store paths consult it, but
 /// `cfg!`-guarded expressions still name it on other architectures).
+///
+/// This constant is the *fallback seed* only: the store paths consult
+/// [`nt_store_min_bytes`], which an adaptive plan may retune at runtime
+/// ([`crate::adapt`]). Retuning never changes results — it only moves the
+/// point where stores switch from cacheable to streaming.
 pub(crate) const NT_STORE_MIN_BYTES: usize = 8 << 20;
+
+/// Runtime override for the NT-store threshold; 0 means "use the frozen
+/// default". Process-wide for the same reason ISA resolution is: the
+/// kernels sit below any plan state. Concurrent adaptive plans racing on
+/// this are benign — every value is bit-identical, only throughput moves.
+static NT_STORE_MIN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The byte threshold at or above which stride-1/vertical kernels use
+/// non-temporal stores. Defaults to the frozen 8 MiB seed; adaptive plans
+/// may move it with [`set_nt_store_min_bytes`].
+pub fn nt_store_min_bytes() -> usize {
+    match NT_STORE_MIN.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => NT_STORE_MIN_BYTES,
+        v => v,
+    }
+}
+
+/// Sets the process-wide NT-store threshold in bytes. `usize::MAX`
+/// effectively disables streaming stores; `0` restores the frozen default.
+/// Safe to call at any time: the threshold only selects between two
+/// bit-identical store strategies.
+pub fn set_nt_store_min_bytes(bytes: usize) {
+    NT_STORE_MIN.store(bytes, std::sync::atomic::Ordering::Relaxed);
+}
 
 // --- Public dispatch ------------------------------------------------------
 
@@ -149,7 +178,7 @@ unsafe fn stride1_ptr<T: ScanElement>(
         }
         #[cfg(target_arch = "x86_64")]
         4 if matches!(isa, Isa::Avx2 | Isa::Avx512) => {
-            let nt = allow_nt && n * 4 >= NT_STORE_MIN_BYTES;
+            let nt = allow_nt && n * 4 >= nt_store_min_bytes();
             let c0 = lane_bits_of(carry) as u32;
             let c = match (isa, nt) {
                 (Isa::Avx2, false) => x86::scan_w4_avx2::<false>(src.cast(), dst.cast(), n, c0),
@@ -161,7 +190,7 @@ unsafe fn stride1_ptr<T: ScanElement>(
         }
         #[cfg(target_arch = "x86_64")]
         8 if matches!(isa, Isa::Avx2 | Isa::Avx512) => {
-            let nt = allow_nt && n * 8 >= NT_STORE_MIN_BYTES;
+            let nt = allow_nt && n * 8 >= nt_store_min_bytes();
             let c0 = lane_bits_of(carry);
             let c = match (isa, nt) {
                 (Isa::Avx2, false) => x86::scan_w8_avx2::<false>(src.cast(), dst.cast(), n, c0),
@@ -620,7 +649,7 @@ fn small_dispatch(width: usize, op: VertOp, rows: usize, b: usize, state: *mut u
                 // row-granular way to align first (rows advance in `b`-byte
                 // strides), so unaligned destinations keep cacheable stores.
                 if cfg!(target_arch = "x86_64")
-                    && rows * WORDS * 8 >= NT_STORE_MIN_BYTES
+                    && rows * WORDS * 8 >= nt_store_min_bytes()
                     && (dst as usize).is_multiple_of(8)
                 {
                     small_from::<W, WORDS, true>(src, dst, rows, state, exclusive)

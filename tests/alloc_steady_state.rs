@@ -149,3 +149,47 @@ fn session_steady_state_is_allocation_free() {
     assert_eq!(one_shot, 0, "session scan_into steady state must be allocation-free");
     assert_eq!(out, sam_core::serial::scan(&input, &Sum, &spec));
 }
+
+/// The adaptive feedback path is allocation-free once converged: driving
+/// a `PlanHint::adaptive()` plan to `DriverPhase::Steady` and scanning
+/// again must allocate nothing — geometry resolution, the wall-clock cost
+/// measurement, and `Driver::observe` all run on pre-allocated state (the
+/// one-time persistence write happened at the convergence transition).
+#[test]
+fn converged_adaptive_feedback_is_allocation_free() {
+    use sam_core::adapt::DriverPhase;
+
+    let spec = ScanSpec::inclusive().with_order(2).unwrap();
+    let input: Vec<i64> = (0..32_768).map(|i| (i % 811) - 400).collect();
+    let mut out = vec![0i64; input.len()];
+    // Single worker: the scan itself is allocation-free once warmed, so
+    // any steady-state allocation is attributable to the adaptive layer.
+    let plan = ScanPlan::new(spec, Engine::Cpu(CpuScanner::new(1)), PlanHint::adaptive());
+    assert!(plan.is_adaptive());
+
+    // Drive the search to convergence (episodes above the observation
+    // floor; warmup + climb need a few hundred).
+    for _ in 0..3000 {
+        plan.scan_into(&input, &mut out, &Sum);
+        if plan.adaptive_snapshot().unwrap().phase == DriverPhase::Steady {
+            break;
+        }
+    }
+    assert_eq!(
+        plan.adaptive_snapshot().unwrap().phase,
+        DriverPhase::Steady,
+        "driver must converge before the allocation gate"
+    );
+
+    plan.scan_into(&input, &mut out, &Sum); // settle
+    let steady = allocs_during(|| {
+        for _ in 0..10 {
+            plan.scan_into(&input, &mut out, &Sum);
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "converged adaptive feedback must be allocation-free"
+    );
+    assert_eq!(out, sam_core::serial::scan(&input, &Sum, &spec));
+}

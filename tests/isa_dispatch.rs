@@ -12,6 +12,14 @@
 //! (family, width, shape) pairs must take the SIMD path at all, so a
 //! dispatch regression that silently falls back to scalar fails loudly
 //! here instead of showing up as a benchmark cliff.
+//!
+//! Environment discipline: `cargo test` runs tests concurrently in one
+//! process, so any test that *mutates* a `SAM_*` environment knob
+//! (`SAM_FORCE_KERNEL`, `SAM_TUNING_DIR`, ...) must hold the process-wide
+//! guard in [`sam_core::envlock`] for the mutation's whole scope — see
+//! `tests/adaptive_plans.rs` for the pattern. This suite only ever
+//! *reads* the resolved family, which is cached process-wide at first
+//! use, so it needs no lock.
 
 use sam_core::cpu::CpuScanner;
 use sam_core::isa::{self, Isa};
