@@ -1,0 +1,488 @@
+//! Load generator for the multi-tenant batching scan service.
+//!
+//! Drives an in-process [`sam_service::ScanService`] with a stream of
+//! micro-scans and measures how much the request-coalescing front-end
+//! buys over dispatching every request as its own launch. The same
+//! workload runs twice — once with coalescing enabled (batched) and once
+//! with `max_batch_requests = 1` (the per-request serial baseline) — and
+//! the ratio of their throughputs is the batching speedup.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin loadgen -- [options]
+//!   --requests N       total micro-scan requests per run (default 10000)
+//!   --elems N          values per micro-scan (default 32)
+//!   --mode open|closed open loop submits everything up front and then
+//!                      drains; closed loop runs --clients threads each
+//!                      blocking on one request at a time (default open)
+//!   --clients C        concurrent submitters (default 4)
+//!   --executors E      service executor threads (default 1)
+//!   --batch-requests B coalescing cap for the batched run (default 256)
+//!   --batch-elems N    fused-launch element cap (default 1<<20)
+//!   --engine ENG       serial|auto|cpu:N for the backing scans (default auto)
+//!   --trace            run the service traced (per-tenant ScanReport
+//!                      metrics — the SLO-accounting serving shape;
+//!                      default on, disable with --no-trace)
+//!   --no-trace         untraced hot path: pure coalescing ablation
+//!   --reps N           timed repetitions per leg, best kept (default 3)
+//!   --out PATH         JSON file to merge results into (default BENCH_cpu.json)
+//!   --no-json          print the summary but do not touch the JSON file
+//!   --assert-batching-speedup X
+//!                      exit nonzero unless batched/serial >= X (CI gate)
+//! ```
+//!
+//! All requests are generated before the clock starts; each leg gets one
+//! warm-up repetition and then `--reps` timed repetitions, keeping the
+//! best (the same protocol as the `throughput` bench). Latency per
+//! request is wall time from submission to response. In the closed loop
+//! that is exact; in the open loop handles are awaited in submission
+//! order, which matches the FIFO completion order of the admission
+//! queue, so the skew is bounded by one batch.
+//!
+//! Bench-protocol caveat: on a single-core host the batched and serial
+//! runs use identical scan kernels — the entire speedup comes from
+//! amortizing per-request launch overhead (session reset, dispatch,
+//! queue handshakes, and — in the default traced configuration — the
+//! per-launch `ScanReport` instrumentation that feeds the service's
+//! per-tenant metrics), which is exactly what the service's coalescing
+//! is for. Multi-core hosts additionally overlap client and executor
+//! work. `--no-trace` isolates the pure coalescing effect without the
+//! instrumentation amortization.
+//!
+//! Results land in a `"service_loadgen"` section of the throughput
+//! benchmark's JSON document. The merge is textual (the workspace has no
+//! JSON parser by design): any existing `service_loadgen` section — which
+//! this tool always writes last — is truncated and replaced.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sam_core::{Engine, ScanKind};
+use sam_service::{ScanRequest, ScanService, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--requests N] [--elems N] [--mode open|closed] [--clients C] \
+         [--executors E] [--batch-requests B] [--batch-elems N] [--engine serial|auto|cpu:N] \
+         [--out PATH] [--no-json] [--assert-batching-speedup X]"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Clone)]
+struct Opts {
+    requests: usize,
+    elems: usize,
+    mode: Mode,
+    clients: usize,
+    executors: usize,
+    batch_requests: usize,
+    batch_elems: usize,
+    engine: String,
+    trace: bool,
+    reps: usize,
+    out: String,
+    write_json: bool,
+    assert_speedup: Option<f64>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Open,
+    Closed,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Open => "open",
+            Mode::Closed => "closed",
+        }
+    }
+}
+
+fn parse_engine(arg: &str) -> Engine {
+    match arg {
+        "serial" => Engine::Serial,
+        "auto" => Engine::auto(),
+        other => match other.strip_prefix("cpu:").and_then(|n| n.parse().ok()) {
+            Some(workers) if workers > 0 => Engine::cpu(workers),
+            _ => {
+                eprintln!("loadgen: bad --engine {other:?}");
+                usage()
+            }
+        },
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        requests: 10_000,
+        elems: 32,
+        mode: Mode::Open,
+        clients: 4,
+        executors: 1,
+        batch_requests: 256,
+        batch_elems: 1 << 20,
+        engine: "auto".into(),
+        trace: true,
+        reps: 3,
+        out: "BENCH_cpu.json".into(),
+        write_json: true,
+        assert_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--elems" => opts.elems = value().parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                opts.mode = match value().as_str() {
+                    "open" => Mode::Open,
+                    "closed" => Mode::Closed,
+                    _ => usage(),
+                }
+            }
+            "--clients" => opts.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--executors" => opts.executors = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-requests" => {
+                opts.batch_requests = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-elems" => opts.batch_elems = value().parse().unwrap_or_else(|_| usage()),
+            "--engine" => opts.engine = value(),
+            "--trace" => opts.trace = true,
+            "--no-trace" => opts.trace = false,
+            "--reps" => opts.reps = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => opts.out = value(),
+            "--no-json" => opts.write_json = false,
+            "--assert-batching-speedup" => {
+                opts.assert_speedup = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    if opts.requests == 0 || opts.elems == 0 || opts.clients == 0 || opts.reps == 0 {
+        usage()
+    }
+    opts
+}
+
+/// Deterministic micro-scan request `i`: LCG-generated values with sparse
+/// segment heads, alternating inclusive/exclusive to exercise the
+/// service's per-request output derivation inside fused launches.
+fn request_for(i: usize, elems: usize) -> ScanRequest {
+    let mut state = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut values = Vec::with_capacity(elems);
+    let mut heads = Vec::with_capacity(elems);
+    for _ in 0..elems {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        values.push((state >> 40) as i32 % 1000);
+        heads.push(state.is_multiple_of(13));
+    }
+    let kind = if i.is_multiple_of(2) {
+        ScanKind::Inclusive
+    } else {
+        ScanKind::Exclusive
+    };
+    ScanRequest::new(format!("tenant-{}", i % 8), kind, values).with_heads(heads)
+}
+
+/// Reference output for spot-checking responses.
+fn oracle(request: &ScanRequest) -> Vec<i32> {
+    let mut out = Vec::with_capacity(request.values.len());
+    let mut run = 0i32;
+    for (i, &v) in request.values.iter().enumerate() {
+        if i == 0 || request.heads[i] {
+            run = 0;
+        }
+        match request.kind {
+            ScanKind::Inclusive => {
+                run = run.wrapping_add(v);
+                out.push(run);
+            }
+            ScanKind::Exclusive => {
+                out.push(run);
+                run = run.wrapping_add(v);
+            }
+        }
+    }
+    out
+}
+
+struct RunResult {
+    wall: Duration,
+    latencies_us: Vec<u64>,
+    batches: u64,
+    max_batch_requests: u64,
+    coalescing_factor: f64,
+}
+
+impl RunResult {
+    fn reqs_per_sec(&self, requests: usize) -> f64 {
+        requests as f64 / self.wall.as_secs_f64()
+    }
+
+    fn elems_per_sec(&self, requests: usize, elems: usize) -> f64 {
+        (requests * elems) as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        self.latencies_us[rank]
+    }
+}
+
+/// Run the pre-generated workload once against a fresh service and tear
+/// it down. Every 97th response is spot-checked against the oracle.
+fn run_once(opts: &Opts, batch_requests: usize, requests: Vec<ScanRequest>) -> RunResult {
+    let cfg = ServiceConfig::default()
+        .with_executors(opts.executors)
+        .with_queue_capacity(opts.requests.max(opts.clients))
+        .with_batch_limits(batch_requests, opts.batch_elems.max(opts.elems))
+        .with_engine(parse_engine(&opts.engine));
+    let cfg = if opts.trace { cfg.with_trace() } else { cfg };
+    let service = ScanService::start(cfg);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(opts.requests);
+    let mut checks: Vec<(usize, Vec<i32>)> = Vec::new();
+    let start = Instant::now();
+    match opts.mode {
+        Mode::Open => {
+            // Submit everything, then drain in FIFO order. The backlog is
+            // the coalescing window.
+            // Latency is sampled (1 in 8) so the clock reads don't become
+            // part of the per-request cost being measured.
+            let mut inflight = Vec::with_capacity(opts.requests);
+            for (i, request) in requests.into_iter().enumerate() {
+                let submitted = (i % 8 == 0).then(Instant::now);
+                let handle = service
+                    .submit(request)
+                    .expect("queue sized for the full run");
+                inflight.push((i, submitted, handle));
+            }
+            for (i, submitted, handle) in inflight {
+                let out = handle.wait().expect("loadgen requests are well-formed");
+                if let Some(submitted) = submitted {
+                    latencies_us.push(submitted.elapsed().as_micros() as u64);
+                }
+                if i % 97 == 0 {
+                    checks.push((i, out));
+                }
+            }
+        }
+        Mode::Closed => {
+            // Round-robin the request list over the client threads.
+            let mut per_client: Vec<Vec<(usize, ScanRequest)>> =
+                (0..opts.clients).map(|_| Vec::new()).collect();
+            for (i, request) in requests.into_iter().enumerate() {
+                per_client[i % opts.clients].push((i, request));
+            }
+            type ClientOut = (Vec<u64>, Vec<(usize, Vec<i32>)>);
+            let collected: Vec<ClientOut> = std::thread::scope(|scope| {
+                    let service = &service;
+                    let handles: Vec<_> = per_client
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let mut lat = Vec::with_capacity(chunk.len());
+                                let mut checks = Vec::new();
+                                for (i, request) in chunk {
+                                    let submitted = Instant::now();
+                                    let out =
+                                        service.scan(request).expect("well-formed request");
+                                    lat.push(submitted.elapsed().as_micros() as u64);
+                                    if i % 97 == 0 {
+                                        checks.push((i, out));
+                                    }
+                                }
+                                (lat, checks)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("client")).collect()
+                });
+            for (lat, ck) in collected {
+                latencies_us.extend(lat);
+                checks.extend(ck);
+            }
+        }
+    }
+    let wall = start.elapsed();
+    let metrics = service.metrics();
+    service.shutdown();
+    for (i, out) in checks {
+        assert_eq!(out, oracle(&request_for(i, opts.elems)), "request {i}");
+    }
+    latencies_us.sort_unstable();
+    RunResult {
+        wall,
+        latencies_us,
+        batches: metrics.batches,
+        max_batch_requests: metrics.max_batch_requests,
+        coalescing_factor: metrics.coalescing_factor(),
+    }
+}
+
+/// One warm-up plus `--reps` timed repetitions; the best (shortest wall
+/// time) repetition is kept, as in the `throughput` bench.
+fn run_best(opts: &Opts, batch_requests: usize, requests: &[ScanRequest]) -> RunResult {
+    let _warmup = run_once(opts, batch_requests, requests.to_vec());
+    let mut best: Option<RunResult> = None;
+    for _ in 0..opts.reps {
+        let r = run_once(opts, batch_requests, requests.to_vec());
+        if best.as_ref().is_none_or(|b| r.wall < b.wall) {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// One run's JSON object (shared shape for the batched and serial legs).
+fn leg_json(opts: &Opts, batch_requests: usize, r: &RunResult) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"max_batch_requests\": {}, \"wall_secs\": {:.6e}, \"reqs_per_sec\": {:.6e}, \
+         \"elems_per_sec\": {:.6e}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
+         \"batches\": {}, \"max_batch_observed\": {}, \"coalescing_factor\": {:.3}}}",
+        batch_requests,
+        r.wall.as_secs_f64(),
+        r.reqs_per_sec(opts.requests),
+        r.elems_per_sec(opts.requests, opts.elems),
+        r.percentile(0.50),
+        r.percentile(0.90),
+        r.percentile(0.99),
+        r.batches,
+        r.max_batch_requests,
+        r.coalescing_factor,
+    );
+    s
+}
+
+/// Merge the `service_loadgen` section into the throughput JSON document
+/// textually: truncate any existing section (always written last by this
+/// tool) and re-append before the document's closing brace.
+fn merge_into_json(path: &str, section: &str) -> std::io::Result<()> {
+    const MARKER: &str = ",\n  \"service_loadgen\":";
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let mut doc = match existing.find(MARKER) {
+                Some(at) => existing[..at].to_string(),
+                None => {
+                    let trimmed = existing.trim_end();
+                    let Some(stripped) = trimmed.strip_suffix('}') else {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("{path} does not end with a closing brace; refusing to merge"),
+                        ));
+                    };
+                    stripped.trim_end().to_string()
+                }
+            };
+            doc.push_str(MARKER);
+            doc.push(' ');
+            doc.push_str(section);
+            doc.push_str("\n}\n");
+            doc
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            format!("{{\n  \"bench\": \"service_loadgen\"{MARKER} {section}\n}}\n")
+        }
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
+fn main() {
+    let opts = parse_opts();
+    eprintln!(
+        "loadgen: {} requests x {} elems, {} loop, {} clients, {} executors, engine {}, {}",
+        opts.requests,
+        opts.elems,
+        opts.mode.name(),
+        opts.clients,
+        opts.executors,
+        opts.engine,
+        if opts.trace { "traced" } else { "untraced" },
+    );
+    let requests: Vec<ScanRequest> = (0..opts.requests)
+        .map(|i| request_for(i, opts.elems))
+        .collect();
+
+    eprintln!("loadgen: serial baseline (max_batch_requests = 1)...");
+    let serial = run_best(&opts, 1, &requests);
+    eprintln!(
+        "  {:.0} reqs/s, p50 {} us, p99 {} us, {} launches",
+        serial.reqs_per_sec(opts.requests),
+        serial.percentile(0.50),
+        serial.percentile(0.99),
+        serial.batches
+    );
+
+    eprintln!(
+        "loadgen: batched run (max_batch_requests = {})...",
+        opts.batch_requests
+    );
+    let batched = run_best(&opts, opts.batch_requests, &requests);
+    eprintln!(
+        "  {:.0} reqs/s, p50 {} us, p99 {} us, {} launches \
+         (coalescing factor {:.1}, largest batch {})",
+        batched.reqs_per_sec(opts.requests),
+        batched.percentile(0.50),
+        batched.percentile(0.99),
+        batched.batches,
+        batched.coalescing_factor,
+        batched.max_batch_requests
+    );
+
+    let speedup = batched.reqs_per_sec(opts.requests) / serial.reqs_per_sec(opts.requests);
+    println!(
+        "loadgen: batched vs serial speedup = {speedup:.2}x \
+         ({:.0} vs {:.0} reqs/s over {} micro-scans)",
+        batched.reqs_per_sec(opts.requests),
+        serial.reqs_per_sec(opts.requests),
+        opts.requests
+    );
+
+    if opts.write_json {
+        let mut section = String::new();
+        let _ = write!(
+            section,
+            "{{\n    \"requests\": {}, \"elems_per_request\": {}, \"mode\": \"{}\", \
+             \"clients\": {}, \"executors\": {}, \"engine\": \"{}\", \"trace\": {},\n    \
+             \"serial\": {},\n    \"batched\": {},\n    \
+             \"batched_vs_serial_speedup\": {:.3}\n  }}",
+            opts.requests,
+            opts.elems,
+            opts.mode.name(),
+            opts.clients,
+            opts.executors,
+            opts.engine,
+            opts.trace,
+            leg_json(&opts, 1, &serial),
+            leg_json(&opts, opts.batch_requests, &batched),
+            speedup,
+        );
+        match merge_into_json(&opts.out, &section) {
+            Ok(()) => eprintln!("loadgen: merged service_loadgen section into {}", opts.out),
+            Err(e) => {
+                eprintln!("loadgen: cannot update {}: {e}", opts.out);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(floor) = opts.assert_speedup {
+        if speedup < floor {
+            eprintln!(
+                "loadgen: FAILED batching-speedup assertion: {speedup:.2}x < {floor}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: batching-speedup assertion passed ({speedup:.2}x >= {floor}x)");
+    }
+}

@@ -344,6 +344,10 @@ impl CpuScanner {
         let cancel = Arc::new(AtomicBool::new(false));
         let sched = self.sched.clone();
         let trace = self.trace.clone();
+        // Workers are fresh threads: re-install the dispatching thread's
+        // per-plan NT-store override (0 = none) so the plan's tuned
+        // threshold, not the process default, reaches the kernels.
+        let nt = crate::simd::nt_store_tl();
         let payload = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
             for b in 0..k {
@@ -352,6 +356,7 @@ impl CpuScanner {
                 let trace = trace.clone();
                 let cancel = Arc::clone(&cancel);
                 handles.push(scope.spawn(move || {
+                    let _nt = crate::simd::nt_store_override(nt);
                     // The guard raises `cancel` if this worker panics, so
                     // siblings blocked in `wait_for` on a ready counter
                     // this worker will never bump unwind cooperatively
@@ -531,6 +536,8 @@ impl CpuScanner {
         let cancel = Arc::new(AtomicBool::new(false));
         let sched = self.sched.clone();
         let trace = self.trace.clone();
+        // Same per-plan NT-override inheritance as `scan_into`.
+        let nt = crate::simd::nt_store_tl();
         let payload = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
             for b in 0..k {
@@ -539,6 +546,7 @@ impl CpuScanner {
                 let trace = trace.clone();
                 let cancel = Arc::clone(&cancel);
                 handles.push(scope.spawn(move || {
+                    let _nt = crate::simd::nt_store_override(nt);
                     // Same cancellation discipline as `scan_into`: a panic
                     // here raises `cancel` for siblings stuck in `wait_for`.
                     let _guard = sched::enter_block(b, k, sched, Arc::clone(&cancel));

@@ -473,12 +473,12 @@ impl ScanPlan {
         // those run the frozen plan and never feed the search.
         let adaptive = self.adaptive.as_ref().filter(|_| op.supports_cascade());
         let geom = adaptive.map(|state| state.begin());
-        if let Some(g) = geom {
-            // Process-global by design (kernel dispatch sees no plan
-            // state); the last adaptive scan to start wins, which is
-            // benign — every threshold value is bit-identical.
-            crate::simd::set_nt_store_min_bytes(g.nt_min_bytes);
-        }
+        // Scoped per-plan NT threshold: covers the serial and `k == 1`
+        // paths that run on this thread; `scan_into_geom` re-installs it
+        // on every worker it spawns. Concurrent plans with conflicting
+        // converged thresholds each see their own value — the process
+        // global stays untouched as the default seed.
+        let _nt = crate::simd::nt_store_override(geom.map_or(0, |g| g.nt_min_bytes));
         // Episodes below the floor run the probe geometry but are not
         // scored: their throughput measures fixed overhead, not geometry.
         let observing = adaptive.is_some() && input.len() >= crate::adapt::ADAPT_MIN_ELEMS;
@@ -1135,6 +1135,10 @@ impl CarryState {
     ///
     /// Returns a [`CarryStateError`] describing the first malformed field.
     pub fn from_bytes(bytes: &[u8]) -> Result<CarryState, CarryStateError> {
+        // Every read below is fallible — no slice indexing, no `unwrap` on
+        // width conversions. A checkpoint arriving over a wire (truncated,
+        // bit-flipped, or adversarial) must decode to an error, never a
+        // panic: sessions resume these on shared service workers.
         fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], CarryStateError> {
             if bytes.len() < n {
                 return Err(CarryStateError::Truncated);
@@ -1143,37 +1147,53 @@ impl CarryState {
             *bytes = rest;
             Ok(head)
         }
+        fn take_arr<const N: usize>(bytes: &mut &[u8]) -> Result<[u8; N], CarryStateError> {
+            take(bytes, N)?.try_into().map_err(|_| CarryStateError::Truncated)
+        }
+        fn take_u64(bytes: &mut &[u8]) -> Result<u64, CarryStateError> {
+            Ok(u64::from_le_bytes(take_arr::<8>(bytes)?))
+        }
         let mut rest = bytes;
         if take(&mut rest, 4)? != CARRY_MAGIC {
             return Err(CarryStateError::BadMagic);
         }
-        let version = take(&mut rest, 1)?[0];
+        let version = take_arr::<1>(&mut rest)?[0];
         if version != CARRY_VERSION {
             return Err(CarryStateError::BadVersion(version));
         }
-        let kind = match take(&mut rest, 1)?[0] {
+        let kind = match take_arr::<1>(&mut rest)?[0] {
             0 => ScanKind::Inclusive,
             1 => ScanKind::Exclusive,
             k => return Err(CarryStateError::BadKind(k)),
         };
-        let order = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
-        let tuple = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()) as usize;
+        let order = u32::from_le_bytes(take_arr::<4>(&mut rest)?);
+        let tuple_wire = take_u64(&mut rest)?;
+        // A declared tuple past the address space cannot be a valid spec;
+        // reject before the narrowing cast instead of truncating it.
+        let tuple = usize::try_from(tuple_wire).map_err(|_| CarryStateError::BadLength {
+            expected: 0,
+            got: usize::MAX,
+        })?;
         let spec = ScanSpec::new(kind, order, tuple)
             .map_err(|_| CarryStateError::BadLength {
                 expected: 0,
-                got: order as usize * tuple,
+                got: (order as usize).saturating_mul(tuple),
             })?;
-        let elements_seen = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
-        let len = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()) as usize;
-        if len != spec.lane_state_len() {
+        let elements_seen = take_u64(&mut rest)?;
+        let len_wire = take_u64(&mut rest)?;
+        // Validate the declared length *before* sizing any allocation:
+        // `lane_state_len` is small for every valid spec, so a corrupt
+        // length can neither over-allocate nor wrap on 32-bit hosts.
+        if len_wire != spec.lane_state_len() as u64 {
             return Err(CarryStateError::BadLength {
                 expected: spec.lane_state_len(),
-                got: len,
+                got: usize::try_from(len_wire).unwrap_or(usize::MAX),
             });
         }
+        let len = spec.lane_state_len();
         let mut state = Vec::with_capacity(len);
         for _ in 0..len {
-            state.push(u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()));
+            state.push(take_u64(&mut rest)?);
         }
         if !rest.is_empty() {
             return Err(CarryStateError::TrailingBytes(rest.len()));

@@ -266,18 +266,119 @@ where
     T: Element32,
     SegOp: crate::chunk_kernel::ChunkKernel<Packed32<T>>,
 {
-    assert_eq!(values.len(), heads.len(), "one head flag per value");
+    let mut scratch = Vec::new();
+    let mut out = Vec::with_capacity(values.len());
+    match try_feed_segmented_into(session, values, heads, &mut scratch, &mut out) {
+        Ok(()) => out,
+        Err(SegmentedError::LengthMismatch { .. }) => panic!("one head flag per value"),
+        Err(SegmentedError::UnsupportedSpec(_)) => {
+            panic!("segmented streaming requires an inclusive order-1 tuple-1 session")
+        }
+    }
+}
+
+/// A segmented-feed request that cannot be executed. Returned by
+/// [`try_feed_segmented_into`] so a front-end serving many tenants can
+/// reject one malformed request without aborting a shared worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentedError {
+    /// `values` and `heads` differ in length — segmented scans need one
+    /// head flag per value.
+    LengthMismatch {
+        /// Length of the `values` slice.
+        values: usize,
+        /// Length of the `heads` slice.
+        heads: usize,
+    },
+    /// The session's spec cannot carry the pair transformation: segmented
+    /// streaming requires an inclusive order-1 tuple-1 session.
+    UnsupportedSpec(crate::ScanSpec),
+}
+
+impl core::fmt::Display for SegmentedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SegmentedError::LengthMismatch { values, heads } => write!(
+                f,
+                "one head flag per value required: {values} values, {heads} heads"
+            ),
+            SegmentedError::UnsupportedSpec(spec) => write!(
+                f,
+                "segmented streaming requires an inclusive order-1 tuple-1 session, \
+                 got {spec:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SegmentedError {}
+
+/// Fallible, allocation-recycling [`feed_segmented`]: validates the
+/// request, packs `(head, value)` pairs into `scratch`, feeds them
+/// through the session, and appends the unpacked inclusive outputs to
+/// `out` — exactly `values.len()` of them.
+///
+/// Both buffers are cleared and reused, never shrunk, so a long-lived
+/// caller (a batching service executor, say) reaches a steady state with
+/// zero allocations per request. On `Err` the session is untouched: no
+/// elements were fed, and both buffers are left cleared, so one bad
+/// request cannot corrupt the carry state shared with later ones.
+///
+/// # Errors
+///
+/// [`SegmentedError::LengthMismatch`] when `values` and `heads` differ in
+/// length; [`SegmentedError::UnsupportedSpec`] when the session's spec is
+/// not inclusive order-1 tuple-1.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::plan::{PlanHint, ScanPlan};
+/// use sam_core::segmented::{try_feed_segmented_into, SegmentedOp};
+/// use sam_core::op::Sum;
+/// use sam_core::{Engine, ScanSpec};
+///
+/// let plan = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+/// let mut session = plan.session(SegmentedOp::new(Sum));
+/// let (mut scratch, mut out) = (Vec::new(), Vec::new());
+/// try_feed_segmented_into(&mut session, &[1i32, 2, 3], &[false, false, true], &mut scratch, &mut out)
+///     .unwrap();
+/// assert_eq!(out, vec![1, 3, 3]);
+/// // Malformed input is an error, not a panic — and the session is untouched.
+/// let err = try_feed_segmented_into(&mut session, &[1i32], &[], &mut scratch, &mut out);
+/// assert!(err.is_err());
+/// ```
+pub fn try_feed_segmented_into<T, SegOp>(
+    session: &mut crate::plan::ScanSession<Packed32<T>, SegOp>,
+    values: &[T],
+    heads: &[bool],
+    scratch: &mut Vec<Packed32<T>>,
+    out: &mut Vec<T>,
+) -> Result<(), SegmentedError>
+where
+    T: Element32,
+    SegOp: crate::chunk_kernel::ChunkKernel<Packed32<T>>,
+{
+    scratch.clear();
+    out.clear();
+    if values.len() != heads.len() {
+        return Err(SegmentedError::LengthMismatch {
+            values: values.len(),
+            heads: heads.len(),
+        });
+    }
     let spec = *session.spec();
-    assert!(
-        spec.is_first_order() && spec.tuple() == 1 && spec.kind() == ScanKind::Inclusive,
-        "segmented streaming requires an inclusive order-1 tuple-1 session"
+    if !(spec.is_first_order() && spec.tuple() == 1 && spec.kind() == ScanKind::Inclusive) {
+        return Err(SegmentedError::UnsupportedSpec(spec));
+    }
+    scratch.extend(
+        values
+            .iter()
+            .zip(heads)
+            .map(|(&v, &h)| Packed32::new(h, v)),
     );
-    let packed: Vec<Packed32<T>> = values
-        .iter()
-        .zip(heads)
-        .map(|(&v, &h)| Packed32::new(h, v))
-        .collect();
-    session.feed(&packed).iter().map(Packed32::value).collect()
+    out.extend(session.feed(scratch).iter().map(Packed32::value));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -518,5 +619,82 @@ mod tests {
     #[should_panic(expected = "one head flag per value")]
     fn mismatched_lengths_panic() {
         scan_serial(&[1i32, 2], &[true], &Sum, ScanKind::Inclusive);
+    }
+
+    #[test]
+    fn try_feed_reports_errors_instead_of_panicking() {
+        let plan = ScanPlan::new(
+            crate::ScanSpec::inclusive(),
+            Engine::Serial,
+            PlanHint::default(),
+        );
+        let mut session = plan.session(SegmentedOp::new(Sum));
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        assert_eq!(
+            try_feed_segmented_into(&mut session, &[1i32, 2], &[true], &mut scratch, &mut out),
+            Err(SegmentedError::LengthMismatch { values: 2, heads: 1 })
+        );
+
+        let spec = crate::ScanSpec::inclusive().with_order(2).unwrap();
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session(SegmentedOp::new(Sum));
+        assert_eq!(
+            try_feed_segmented_into(&mut session, &[1i32], &[true], &mut scratch, &mut out),
+            Err(SegmentedError::UnsupportedSpec(spec))
+        );
+    }
+
+    #[test]
+    fn try_feed_error_leaves_session_state_untouched() {
+        let plan = ScanPlan::new(
+            crate::ScanSpec::inclusive(),
+            Engine::Serial,
+            PlanHint::default(),
+        );
+        let mut session = plan.session(SegmentedOp::new(Sum));
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        try_feed_segmented_into(&mut session, &[10i32, 20], &[true, false], &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, vec![10, 30]);
+        // A rejected request feeds nothing: the open segment's carry
+        // still applies to the next well-formed batch.
+        let err =
+            try_feed_segmented_into(&mut session, &[99i32], &[], &mut scratch, &mut out);
+        assert!(err.is_err());
+        assert!(out.is_empty(), "failed request leaves no partial output");
+        try_feed_segmented_into(&mut session, &[5i32], &[false], &mut scratch, &mut out).unwrap();
+        assert_eq!(out, vec![35], "carry unaffected by the rejected request");
+    }
+
+    #[test]
+    fn try_feed_reuses_buffers_and_matches_feed_segmented() {
+        let n = 2_000;
+        let values: Vec<i32> = (0..n as i32).map(|i| i % 13 - 6).collect();
+        let heads = heads_every(n, 29);
+        let expect = scan_serial(&values, &heads, &Sum, ScanKind::Inclusive);
+        let engine = Engine::Cpu(CpuScanner::new(3).with_chunk_elems(64));
+        let plan = ScanPlan::new(crate::ScanSpec::inclusive(), engine, PlanHint::default());
+        let mut session = plan.session(SegmentedOp::new(Sum));
+        let batch = 250;
+        let (mut scratch, mut out) = (Vec::with_capacity(batch), Vec::with_capacity(batch));
+        let (scap, ocap) = (scratch.capacity(), out.capacity());
+        let mut got = Vec::new();
+        for start in (0..n).step_by(batch) {
+            let end = (start + batch).min(n);
+            try_feed_segmented_into(
+                &mut session,
+                &values[start..end],
+                &heads[start..end],
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            got.extend_from_slice(&out);
+        }
+        assert_eq!(got, expect);
+        // Pre-sized buffers are recycled, never regrown: the steady state
+        // allocates nothing per request.
+        assert_eq!(scratch.capacity(), scap);
+        assert_eq!(out.capacity(), ocap);
     }
 }

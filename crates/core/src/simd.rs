@@ -88,28 +88,94 @@ use crate::isa::Isa;
 /// point where stores switch from cacheable to streaming.
 pub(crate) const NT_STORE_MIN_BYTES: usize = 8 << 20;
 
-/// Runtime override for the NT-store threshold; 0 means "use the frozen
-/// default". Process-wide for the same reason ISA resolution is: the
-/// kernels sit below any plan state. Concurrent adaptive plans racing on
-/// this are benign — every value is bit-identical, only throughput moves.
+/// Process-wide *default seed* for the NT-store threshold; 0 means "use
+/// the frozen 8 MiB constant". Kernels sit below any plan state, so the
+/// default has to live here — but plans with their own tuned threshold do
+/// **not** write it. They install a scoped, thread-local override
+/// ([`nt_store_override`]) for the duration of their dispatch instead, so
+/// two concurrent plans with conflicting converged thresholds each see
+/// their own value rather than fighting over one global.
 static NT_STORE_MIN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
+std::thread_local! {
+    /// Per-thread scoped override; 0 means "no override, consult the
+    /// process default". Set only through [`nt_store_override`], which
+    /// restores the previous value on drop — the engines install it on the
+    /// dispatching thread and on every worker they spawn for a scan.
+    static NT_STORE_TL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
 /// The byte threshold at or above which stride-1/vertical kernels use
-/// non-temporal stores. Defaults to the frozen 8 MiB seed; adaptive plans
-/// may move it with [`set_nt_store_min_bytes`].
+/// non-temporal stores, as seen by the *current thread*: an active scoped
+/// override ([`nt_store_override`]) wins, then the process-wide default
+/// ([`set_nt_store_min_bytes`]), then the frozen 8 MiB seed.
 pub fn nt_store_min_bytes() -> usize {
-    match NT_STORE_MIN.load(std::sync::atomic::Ordering::Relaxed) {
-        0 => NT_STORE_MIN_BYTES,
+    match NT_STORE_TL.with(std::cell::Cell::get) {
+        0 => match NT_STORE_MIN.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => NT_STORE_MIN_BYTES,
+            v => v,
+        },
         v => v,
     }
 }
 
-/// Sets the process-wide NT-store threshold in bytes. `usize::MAX`
-/// effectively disables streaming stores; `0` restores the frozen default.
-/// Safe to call at any time: the threshold only selects between two
-/// bit-identical store strategies.
+/// Sets the process-wide NT-store threshold **default seed** in bytes.
+/// `usize::MAX` effectively disables streaming stores; `0` restores the
+/// frozen default. Safe to call at any time: the threshold only selects
+/// between two bit-identical store strategies. Plans with a per-plan tuned
+/// threshold should use [`nt_store_override`] instead — this setter is the
+/// fallback every plan without its own override inherits.
 pub fn set_nt_store_min_bytes(bytes: usize) {
     NT_STORE_MIN.store(bytes, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Installs a scoped, thread-local NT-store threshold override, returning
+/// a guard that restores the previous state on drop. `0` means "no
+/// override" (the guard is a no-op that leaves the thread consulting the
+/// process default), so callers can thread an optional per-plan value
+/// unconditionally.
+///
+/// Overrides nest: the guard restores whatever was active when it was
+/// created. They are per-thread, so an engine spawning workers must
+/// install the override on each worker thread (the [`crate::cpu`] engine
+/// does).
+#[must_use = "the override lasts only while the guard is alive"]
+pub fn nt_store_override(bytes: usize) -> NtStoreOverride {
+    let prev = NT_STORE_TL.with(|tl| {
+        let prev = tl.get();
+        if bytes != 0 {
+            tl.set(bytes);
+        }
+        prev
+    });
+    NtStoreOverride {
+        prev,
+        active: bytes != 0,
+    }
+}
+
+/// The calling thread's active scoped override, `0` when none — what a
+/// per-scan worker pool reads on the dispatching thread to re-install the
+/// plan's override on each worker it spawns.
+pub(crate) fn nt_store_tl() -> usize {
+    NT_STORE_TL.with(std::cell::Cell::get)
+}
+
+/// Guard of a scoped [`nt_store_override`]; restores the previous
+/// thread-local threshold when dropped.
+#[derive(Debug)]
+pub struct NtStoreOverride {
+    prev: usize,
+    active: bool,
+}
+
+impl Drop for NtStoreOverride {
+    fn drop(&mut self) {
+        if self.active {
+            let prev = self.prev;
+            NT_STORE_TL.with(|tl| tl.set(prev));
+        }
+    }
 }
 
 // --- Public dispatch ------------------------------------------------------

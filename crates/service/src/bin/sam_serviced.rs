@@ -1,0 +1,143 @@
+//! `sam_serviced` — a thin Unix-socket server over [`sam_service::ScanService`].
+//!
+//! One thread per connection decodes length-prefixed frames
+//! ([`sam_service::wire`]) and submits them to the shared service; the
+//! service coalesces across *all* connections, so concurrent clients'
+//! micro-scans fuse into shared segmented launches. Every request path is
+//! panic-free: malformed frames get error responses, malformed scans get
+//! per-request errors, and a handler panic fails one batch without
+//! taking the process down.
+//!
+//! ```text
+//! sam_serviced --socket /tmp/sam.sock [--executors N] [--queue N]
+//!              [--batch-requests N] [--batch-elems N]
+//!              [--engine serial|auto|cpu:N] [--trace]
+//!              [--chaos-panic-tenant NAME]
+//! ```
+//!
+//! Shutdown: a client frame with the shutdown opcode drains in-flight
+//! work, stops the listener, and exits 0 (see `Client::shutdown_server`).
+
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sam_service::wire::{self, Request};
+use sam_service::{Engine, ScanService, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sam_serviced --socket PATH [--executors N] [--queue N] \
+         [--batch-requests N] [--batch-elems N] [--engine serial|auto|cpu:N] \
+         [--trace] [--chaos-panic-tenant NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_engine(arg: &str) -> Engine {
+    match arg {
+        "serial" => Engine::Serial,
+        "auto" => Engine::auto(),
+        other => match other.strip_prefix("cpu:").and_then(|n| n.parse().ok()) {
+            Some(workers) if workers > 0 => Engine::cpu(workers),
+            _ => {
+                eprintln!("sam_serviced: bad --engine {other:?}");
+                usage()
+            }
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut cfg = ServiceConfig::default();
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--socket" => socket = Some(value().into()),
+            "--executors" => cfg.executors = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-requests" => {
+                cfg.max_batch_requests = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-elems" => cfg.max_batch_elems = value().parse().unwrap_or_else(|_| usage()),
+            "--engine" => cfg.engine = parse_engine(&value()),
+            "--trace" => cfg.trace = true,
+            "--chaos-panic-tenant" => cfg.chaos_panic_tenant = Some(value()),
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    // A stale socket file from a crashed predecessor would fail the bind.
+    let _ = std::fs::remove_file(&socket);
+    let listener = match UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sam_serviced: cannot bind {}: {e}", socket.display());
+            std::process::exit(1);
+        }
+    };
+    // Polling accept keeps shutdown cooperative without extra fds.
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+
+    let service = Arc::new(ScanService::start(cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    println!("sam_serviced: listening on {}", socket.display());
+
+    let mut handlers = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || serve(stream, &service, &stop)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("sam_serviced: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    service.shutdown();
+    let _ = std::fs::remove_file(&socket);
+    println!("sam_serviced: clean shutdown");
+}
+
+/// One connection: frames in, responses out. Decode failures answer with
+/// an error frame and close the connection; IO failures just close it.
+fn serve(mut stream: UnixStream, service: &ScanService, stop: &AtomicBool) {
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match wire::decode_request(&payload) {
+            Ok(Request::Scan(request)) => service.scan(request).map_err(|e| e.to_string()),
+            Ok(Request::Shutdown) => {
+                stop.store(true, Ordering::Release);
+                let _ = wire::write_frame(&mut stream, &wire::encode_response(&Ok(Vec::new())));
+                return;
+            }
+            Err(e) => {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &wire::encode_response(&Err(format!("bad frame: {e}"))),
+                );
+                return;
+            }
+        };
+        if wire::write_frame(&mut stream, &wire::encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-tenant batching front-end over the `sam-core` plan/session layer.
+//!
+//! The paper's decoupled-carry scans win big on large inputs, but
+//! production traffic is mostly the opposite shape: many concurrent
+//! tenants each asking for *small* prefix sums. Launched one by one,
+//! those micro-scans pay the fixed per-launch cost (queue hop, dispatch,
+//! packing) over and over while the kernel itself finishes in
+//! nanoseconds. [`ScanService`] restores the paper's regime by
+//! **coalescing**: compatible requests waiting in the admission queue are
+//! fused into one *segmented* scan — each request becomes a segment
+//! (its head flag resets the running sum), so 10k micro-scans execute as
+//! a single launch over the concatenated values, bit-identical to 10k
+//! independent scans by the segmented-scan identity
+//! ([`sam_core::segmented`]).
+//!
+//! The moving parts:
+//!
+//! - **Admission control** — a bounded queue ([`ServiceConfig::queue_capacity`]);
+//!   [`ScanService::try_submit`] sheds load with [`RequestError::QueueFull`]
+//!   when it is full, [`ScanService::submit`] blocks (backpressure).
+//! - **Coalescing** — executors drain the queue greedily up to
+//!   [`ServiceConfig::max_batch_requests`] / [`ServiceConfig::max_batch_elems`]
+//!   per launch. There is no artificial delay window: an idle service
+//!   dispatches a lone request immediately, and batches form exactly when
+//!   a backlog exists — the queue *is* the coalescing window.
+//! - **Plan cache** — execution plans are resolved once per
+//!   `(ScanSpec, host fingerprint)` key and shared by every executor
+//!   ([`ScanService::plans_cached`]); sessions over them are cached
+//!   per-executor and reach a zero-allocation steady state through
+//!   [`sam_core::segmented::try_feed_segmented_into`].
+//! - **Isolation** — one tenant's malformed request is rejected with an
+//!   error ([`RequestError::Malformed`]) before it reaches a shared
+//!   worker, and a panicking handler fails only its own batch
+//!   ([`RequestError::Panicked`]): the executor catches the unwind
+//!   (riding the engine's cooperative cancel machinery), discards the
+//!   possibly-wedged session, and keeps serving.
+//! - **Per-tenant metrics** — request/element/error counts, queue and
+//!   execution latency sums, and, on traced services,
+//!   [`sam_core::ScanReport`]-derived throughput for SLO accounting
+//!   ([`ScanService::metrics`]).
+//!
+//! The service is synchronous inside (std threads; no async runtime) but
+//! front-end agnostic: [`ResponseHandle::wait`] blocks,
+//! [`ResponseHandle::try_take`] polls, so both blocking servers (see
+//! `sam_serviced`, the Unix-socket binary in this crate) and poll-driven
+//! event loops can sit on top.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sam_service::{ScanKind, ScanRequest, ScanService, ServiceConfig};
+//!
+//! let service = ScanService::start(ServiceConfig::default());
+//! // Submit concurrently from any number of threads.
+//! let handle = service
+//!     .submit(ScanRequest::inclusive("tenant-a", vec![1, 2, 3, 4]))
+//!     .unwrap();
+//! assert_eq!(handle.wait().unwrap(), vec![1, 3, 6, 10]);
+//! // Exclusive requests batch together with inclusive ones.
+//! assert_eq!(
+//!     service
+//!         .scan(ScanRequest::new("tenant-b", ScanKind::Exclusive, vec![5, 5, 5]))
+//!         .unwrap(),
+//!     vec![0, 5, 10]
+//! );
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod service;
+pub mod wire;
+
+pub use metrics::{ServiceMetrics, TenantMetrics};
+pub use sam_core::segmented::SegmentedError;
+pub use sam_core::{Engine, ScanKind};
+pub use service::{ResponseHandle, ScanService};
+
+/// Configuration for a [`ScanService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Executor threads draining the admission queue. Each executor owns
+    /// its cached session and scratch buffers; plans are shared.
+    pub executors: usize,
+    /// Admission-queue bound: requests queued but not yet executing.
+    /// [`ScanService::try_submit`] fails fast past this;
+    /// [`ScanService::submit`] blocks until space frees up.
+    pub queue_capacity: usize,
+    /// Maximum requests fused into one segmented launch.
+    pub max_batch_requests: usize,
+    /// Maximum total elements per launch — also the per-request size cap
+    /// ([`RequestError::TooLarge`]).
+    pub max_batch_elems: usize,
+    /// Engine the cached plans resolve to.
+    pub engine: Engine,
+    /// Trace launches: every batch produces a [`sam_core::ScanReport`],
+    /// and per-tenant metrics pick up measured throughput. Costs clocks
+    /// and span bookkeeping on the hot path; off by default.
+    pub trace: bool,
+    /// Fault-injection hook: executors panic mid-batch when handling a
+    /// request from this tenant. This is how the concurrency tests prove
+    /// a poisoned batch cannot strand the pool; leave `None` in
+    /// production.
+    pub chaos_panic_tenant: Option<String>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            executors: 1,
+            queue_capacity: 4096,
+            max_batch_requests: 256,
+            max_batch_elems: 1 << 20,
+            engine: Engine::auto(),
+            trace: false,
+            chaos_panic_tenant: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the executor-thread count.
+    pub fn with_executors(mut self, executors: usize) -> Self {
+        self.executors = executors;
+        self
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-launch coalescing limits.
+    pub fn with_batch_limits(mut self, requests: usize, elems: usize) -> Self {
+        self.max_batch_requests = requests;
+        self.max_batch_elems = elems;
+        self
+    }
+
+    /// Sets the engine the cached plans resolve to.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables launch tracing (see [`ServiceConfig::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// One tenant's scan request: a prefix sum over `values`, restarted at
+/// every `true` in `heads`.
+///
+/// Requests are *independent*: the service forces a segment head at the
+/// start of every request when batching, so no request ever observes
+/// another's running sum — regardless of what its own `heads[0]` says.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// Tenant identity, for metrics attribution and fault injection.
+    pub tenant: String,
+    /// Inclusive or exclusive outputs. Both kinds batch together: the
+    /// fused launch is always inclusive, and exclusive outputs are
+    /// derived per request (`out[i] = 0` at heads, else `inclusive[i-1]`,
+    /// which is exact for integer sums).
+    pub kind: ScanKind,
+    /// The elements to scan.
+    pub values: Vec<i32>,
+    /// Segment-head flags, one per value. Empty means "one segment": a
+    /// plain prefix sum over the whole request.
+    pub heads: Vec<bool>,
+}
+
+impl ScanRequest {
+    /// A request with explicit segment heads (`heads` may be empty for a
+    /// single-segment scan, otherwise one flag per value).
+    pub fn new(tenant: impl Into<String>, kind: ScanKind, values: Vec<i32>) -> Self {
+        ScanRequest {
+            tenant: tenant.into(),
+            kind,
+            values,
+            heads: Vec::new(),
+        }
+    }
+
+    /// A plain inclusive prefix sum.
+    pub fn inclusive(tenant: impl Into<String>, values: Vec<i32>) -> Self {
+        ScanRequest::new(tenant, ScanKind::Inclusive, values)
+    }
+
+    /// A plain exclusive prefix sum.
+    pub fn exclusive(tenant: impl Into<String>, values: Vec<i32>) -> Self {
+        ScanRequest::new(tenant, ScanKind::Exclusive, values)
+    }
+
+    /// Attaches segment-head flags (one per value).
+    pub fn with_heads(mut self, heads: Vec<bool>) -> Self {
+        self.heads = heads;
+        self
+    }
+}
+
+/// Why a request was rejected or failed. Every variant is a *per-request*
+/// outcome: the service itself keeps running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request cannot be executed as stated (e.g. `heads` length
+    /// mismatch). Rejected at admission, before any shared state.
+    Malformed(SegmentedError),
+    /// The request exceeds the per-launch element budget.
+    TooLarge {
+        /// Elements in the request.
+        elems: usize,
+        /// The configured ceiling ([`ServiceConfig::max_batch_elems`]).
+        max: usize,
+    },
+    /// The bounded admission queue is full (backpressure signal from
+    /// [`ScanService::try_submit`]). Retry later or use the blocking
+    /// [`ScanService::submit`].
+    QueueFull,
+    /// The service is shutting down; the request was not executed.
+    ShuttingDown,
+    /// The handler executing this request's batch panicked. The batch
+    /// failed as a unit; the executor pool survived.
+    Panicked,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Malformed(err) => write!(f, "malformed request: {err}"),
+            RequestError::TooLarge { elems, max } => {
+                write!(f, "request of {elems} elements exceeds the {max}-element cap")
+            }
+            RequestError::QueueFull => write!(f, "admission queue full"),
+            RequestError::ShuttingDown => write!(f, "service shutting down"),
+            RequestError::Panicked => write!(f, "request batch panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RequestError::Malformed(err) => Some(err),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-tenant and service-wide accounting, derived from request
+//! lifecycles and (on traced services) from [`sam_core::ScanReport`]s.
+
+use std::collections::HashMap;
+
+/// One tenant's running totals. All counters are cumulative since service
+/// start; latency sums divide by `requests` for means, and a load
+/// generator wanting percentiles should time requests client-side (the
+/// service keeps only O(1) state per tenant).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantMetrics {
+    /// Requests admitted and executed (successfully or not).
+    pub requests: u64,
+    /// Elements scanned on behalf of this tenant.
+    pub elements: u64,
+    /// Requests that ended in an error (malformed ones rejected at
+    /// admission are *not* counted — they never entered the queue).
+    pub errors: u64,
+    /// Coalesced launches this tenant's requests rode in.
+    pub batches: u64,
+    /// Total microseconds requests spent queued before their launch.
+    pub queue_wait_us: u64,
+    /// Total microseconds of launch execution attributed to requests
+    /// (each request in a batch is charged the whole launch — it could
+    /// not have finished sooner).
+    pub exec_us: u64,
+    /// Most recent traced launch throughput (elements/second) observed
+    /// for a batch containing this tenant; `0.0` until a traced launch
+    /// completes ([`crate::ServiceConfig::trace`]).
+    pub last_elems_per_sec: f64,
+    /// Most recent traced carry-wait fraction for such a batch.
+    pub last_carry_wait_fraction: f64,
+}
+
+/// A point-in-time snapshot of service accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Per-tenant totals.
+    pub tenants: HashMap<String, TenantMetrics>,
+    /// Segmented launches executed.
+    pub batches: u64,
+    /// Requests executed across all launches.
+    pub requests: u64,
+    /// Largest request count fused into a single launch so far.
+    pub max_batch_requests: u64,
+    /// Requests rejected by backpressure ([`crate::RequestError::QueueFull`]).
+    pub shed: u64,
+    /// Batches failed by a panicking handler.
+    pub panicked_batches: u64,
+}
+
+impl ServiceMetrics {
+    /// Mean requests per launch — the realized coalescing factor; `0.0`
+    /// before the first launch.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+}

@@ -1,0 +1,560 @@
+//! The service core: bounded admission queue, coalescing executors over
+//! cached plans, panic-isolated batch execution, and reply tickets.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use sam_core::op::Sum;
+use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
+use sam_core::segmented::{try_feed_segmented_into, Packed32, SegmentedOp};
+use sam_core::{ScanKind, ScanSpec};
+
+use crate::metrics::ServiceMetrics;
+use crate::{RequestError, ScanRequest, SegmentedError, ServiceConfig};
+
+/// The session type every coalesced launch runs on: the Blelloch pair
+/// transformation over wrapping `i32` sums, on an inclusive order-1
+/// tuple-1 plan (the only spec the pair transformation composes with).
+type SegSession = ScanSession<Packed32<i32>, SegmentedOp<Sum>>;
+
+/// Locks a mutex, riding through poisoning: a panicked batch must not
+/// take the queue or the metrics down with it (the executor's own
+/// `catch_unwind` makes cross-panic state consistent by construction —
+/// shared structures are only ever mutated under short, total sections).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A queued request plus its reply ticket.
+struct Pending {
+    request: ScanRequest,
+    ticket: Arc<Ticket>,
+    enqueued: Instant,
+}
+
+/// One request's reply slot. Filled exactly once by an executor (or the
+/// shutdown drain), consumed by [`ResponseHandle::wait`]/[`ResponseHandle::try_take`].
+struct Ticket {
+    slot: Mutex<Option<Result<Vec<i32>, RequestError>>>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Arc<Ticket> {
+        Arc::new(Ticket {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<Vec<i32>, RequestError>) {
+        *lock(&self.slot) = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// The caller's end of a submitted request.
+///
+/// Blocking callers use [`ResponseHandle::wait`]; poll-driven front-ends
+/// call [`ResponseHandle::try_take`] from their event loop. Dropping the
+/// handle abandons the response (the scan may still execute).
+pub struct ResponseHandle {
+    ticket: Arc<Ticket>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle").finish_non_exhaustive()
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the request's batch completes and returns its result.
+    pub fn wait(self) -> Result<Vec<i32>, RequestError> {
+        let mut slot = lock(&self.ticket.slot);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .ticket
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Takes the result if the request has completed; `None` while it is
+    /// still queued or executing. Never blocks.
+    pub fn try_take(&self) -> Option<Result<Vec<i32>, RequestError>> {
+        lock(&self.ticket.slot).take()
+    }
+}
+
+/// State shared between submitters and executors.
+struct Shared {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    /// Signalled when the queue gains work (executors wait here).
+    work: Condvar,
+    /// Signalled when the queue loses work (blocking submitters wait here).
+    space: Condvar,
+    shutdown: AtomicBool,
+    /// Plans resolved once per `(spec, host fingerprint)` and shared by
+    /// every executor; sessions over them are cached per executor thread.
+    plans: Mutex<HashMap<(ScanSpec, String), ScanPlan>>,
+    metrics: Mutex<ServiceMetrics>,
+}
+
+/// The embeddable multi-tenant batching scan service. See the crate docs
+/// for the architecture; construct with [`ScanService::start`].
+pub struct ScanService {
+    shared: Arc<Shared>,
+    executors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ScanService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanService")
+            .field("cfg", &self.shared.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScanService {
+    /// Starts the executor pool and returns the service handle. The
+    /// handle is `Sync`: submit from as many threads as you like.
+    pub fn start(cfg: ServiceConfig) -> ScanService {
+        let executors = cfg.executors.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            plans: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(ServiceMetrics::default()),
+        });
+        let handles = (0..executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sam-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+        ScanService {
+            shared,
+            executors: Mutex::new(handles),
+        }
+    }
+
+    /// Validates a request without touching the queue.
+    fn admit(&self, request: &ScanRequest) -> Result<(), RequestError> {
+        if !request.heads.is_empty() && request.heads.len() != request.values.len() {
+            return Err(RequestError::Malformed(SegmentedError::LengthMismatch {
+                values: request.values.len(),
+                heads: request.heads.len(),
+            }));
+        }
+        if request.values.len() > self.shared.cfg.max_batch_elems {
+            return Err(RequestError::TooLarge {
+                elems: request.values.len(),
+                max: self.shared.cfg.max_batch_elems,
+            });
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RequestError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    /// Submits a request, blocking while the admission queue is full
+    /// (backpressure). Fails fast on malformed or oversized requests and
+    /// during shutdown.
+    pub fn submit(&self, request: ScanRequest) -> Result<ResponseHandle, RequestError> {
+        self.admit(&request)?;
+        let ticket = Ticket::new();
+        let pending = Pending {
+            request,
+            ticket: Arc::clone(&ticket),
+            enqueued: Instant::now(),
+        };
+        let mut queue = lock(&self.shared.queue);
+        while queue.len() >= self.shared.cfg.queue_capacity {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(RequestError::ShuttingDown);
+            }
+            queue = self
+                .shared
+                .space
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RequestError::ShuttingDown);
+        }
+        queue.push_back(pending);
+        drop(queue);
+        self.shared.work.notify_one();
+        Ok(ResponseHandle { ticket })
+    }
+
+    /// Submits a request without blocking: a full queue is an immediate
+    /// [`RequestError::QueueFull`] — the load-shedding signal for open-loop
+    /// clients.
+    pub fn try_submit(&self, request: ScanRequest) -> Result<ResponseHandle, RequestError> {
+        self.admit(&request)?;
+        let ticket = Ticket::new();
+        let pending = Pending {
+            request,
+            ticket: Arc::clone(&ticket),
+            enqueued: Instant::now(),
+        };
+        let mut queue = lock(&self.shared.queue);
+        // Re-check under the lock: a shutdown that already drained the
+        // queue must not gain a request no executor will ever pop.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RequestError::ShuttingDown);
+        }
+        if queue.len() >= self.shared.cfg.queue_capacity {
+            drop(queue);
+            lock(&self.shared.metrics).shed += 1;
+            return Err(RequestError::QueueFull);
+        }
+        queue.push_back(pending);
+        drop(queue);
+        self.shared.work.notify_one();
+        Ok(ResponseHandle { ticket })
+    }
+
+    /// Convenience: [`ScanService::submit`] + [`ResponseHandle::wait`].
+    pub fn scan(&self, request: ScanRequest) -> Result<Vec<i32>, RequestError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A snapshot of service and per-tenant accounting.
+    pub fn metrics(&self) -> ServiceMetrics {
+        lock(&self.shared.metrics).clone()
+    }
+
+    /// Distinct plans currently cached (one per `(spec, host)` key).
+    pub fn plans_cached(&self) -> usize {
+        lock(&self.shared.plans).len()
+    }
+
+    /// Stops accepting work, drains the queue (pending requests fail with
+    /// [`RequestError::ShuttingDown`]), and joins the executor pool.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Fail whatever is still queued so no submitter waits forever.
+        let drained: Vec<Pending> = lock(&self.shared.queue).drain(..).collect();
+        for pending in drained {
+            pending.ticket.fill(Err(RequestError::ShuttingDown));
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for handle in lock(&self.executors).drain(..) {
+            // An executor that somehow died still counts as stopped.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScanService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One coalesced launch: the requests riding it and the fused input.
+struct Batch {
+    members: Vec<Pending>,
+    values: Vec<i32>,
+    heads: Vec<bool>,
+    /// Exclusive end offset of each member's slice of `values`.
+    bounds: Vec<usize>,
+}
+
+impl Batch {
+    fn clear(&mut self) {
+        self.members.clear();
+        self.values.clear();
+        self.heads.clear();
+        self.bounds.clear();
+    }
+}
+
+/// The executor body: block for work, drain greedily, launch, reply.
+fn executor_loop(shared: &Shared) {
+    // Per-executor cached session and buffers; the session is rebuilt
+    // only after a panicked batch (its streaming state is suspect).
+    let mut session: Option<SegSession> = None;
+    let mut scratch: Vec<Packed32<i32>> = Vec::new();
+    let mut packed_out: Vec<i32> = Vec::new();
+    let mut batch = Batch {
+        members: Vec::new(),
+        values: Vec::new(),
+        heads: Vec::new(),
+        bounds: Vec::new(),
+    };
+    loop {
+        batch.clear();
+        {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(first) = queue.pop_front() {
+                    // Greedy coalescing: take whatever is already queued,
+                    // bounded by the launch limits. No delay timer — the
+                    // backlog itself is the coalescing window.
+                    let mut elems = first.request.values.len();
+                    batch.members.push(first);
+                    while batch.members.len() < shared.cfg.max_batch_requests {
+                        let fits = queue
+                            .front()
+                            .is_some_and(|p| elems + p.request.values.len() <= shared.cfg.max_batch_elems);
+                        if !fits {
+                            break;
+                        }
+                        let next = queue.pop_front().expect("front checked");
+                        elems += next.request.values.len();
+                        batch.members.push(next);
+                    }
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        shared.space.notify_all();
+        execute_batch(shared, &mut batch, &mut session, &mut scratch, &mut packed_out);
+    }
+}
+
+/// Fuses the batch members into one segmented launch, splits the outputs
+/// back per request, and fills every ticket. A panic anywhere inside the
+/// launch fails the whole batch — and only the batch.
+fn execute_batch(
+    shared: &Shared,
+    batch: &mut Batch,
+    session: &mut Option<SegSession>,
+    scratch: &mut Vec<Packed32<i32>>,
+    packed_out: &mut Vec<i32>,
+) {
+    // Fuse: every request starts a fresh segment (tenant isolation — a
+    // request must never observe a neighbor's running sum), and its own
+    // interior head flags are honored beyond that.
+    for pending in &batch.members {
+        let req = &pending.request;
+        let start = batch.values.len();
+        batch.values.extend_from_slice(&req.values);
+        if req.heads.is_empty() {
+            batch.heads.resize(batch.values.len(), false);
+        } else {
+            batch.heads.extend_from_slice(&req.heads);
+        }
+        if let Some(first) = batch.heads.get_mut(start) {
+            *first = true;
+        }
+        batch.bounds.push(batch.values.len());
+    }
+
+    let launched = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let sess = session.get_or_insert_with(|| {
+            let key = (ScanSpec::inclusive(), sam_core::adapt::host_fingerprint());
+            let plan = lock(&shared.plans)
+                .entry(key)
+                .or_insert_with(|| {
+                    let mut hint = PlanHint::expected_len(shared.cfg.max_batch_elems);
+                    hint.trace = shared.cfg.trace;
+                    ScanPlan::new(ScanSpec::inclusive(), shared.cfg.engine.clone(), hint)
+                })
+                .clone();
+            plan.session(SegmentedOp::new(Sum))
+        });
+        // Each launch is self-contained; reset discards any carry a
+        // previous (possibly foreign) batch left behind.
+        sess.reset();
+        try_feed_segmented_into(sess, &batch.values, &batch.heads, scratch, packed_out)
+            .expect("service batches are inclusive order-1 tuple-1 by construction");
+        // Fault injection *after* the feed: the panic leaves the cached
+        // session holding a consumed stream, which is exactly the state a
+        // real handler bug would strand — the rebuild below must cope.
+        if let Some(chaos) = &shared.cfg.chaos_panic_tenant {
+            if batch.members.iter().any(|p| &p.request.tenant == chaos) {
+                panic!("chaos: injected handler panic for tenant {chaos}");
+            }
+        }
+    }));
+    let exec_us = u64::try_from(launched.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    // Traced launches surface measured throughput for SLO accounting.
+    let report = match (&outcome, &*session) {
+        (Ok(()), Some(sess)) if shared.cfg.trace => sess.plan().last_report(),
+        _ => None,
+    };
+    if outcome.is_err() {
+        // The cached session may hold a half-fed stream; rebuild lazily.
+        *session = None;
+    }
+
+    let mut metrics = lock(&shared.metrics);
+    metrics.batches += 1;
+    metrics.requests += batch.members.len() as u64;
+    metrics.max_batch_requests = metrics.max_batch_requests.max(batch.members.len() as u64);
+    if outcome.is_err() {
+        metrics.panicked_batches += 1;
+    }
+    let mut start = 0usize;
+    for (pending, &end) in batch.members.iter().zip(&batch.bounds) {
+        // `get_mut` first: the steady state is a known tenant, and the
+        // entry API would clone the name on every request.
+        if !metrics.tenants.contains_key(&pending.request.tenant) {
+            metrics
+                .tenants
+                .insert(pending.request.tenant.clone(), Default::default());
+        }
+        let tenant = metrics
+            .tenants
+            .get_mut(&pending.request.tenant)
+            .expect("inserted above");
+        tenant.requests += 1;
+        tenant.elements += (end - start) as u64;
+        tenant.batches += 1;
+        tenant.queue_wait_us += u64::try_from(
+            launched
+                .saturating_duration_since(pending.enqueued)
+                .as_micros(),
+        )
+        .unwrap_or(u64::MAX);
+        tenant.exec_us += exec_us;
+        if let Some(report) = &report {
+            tenant.last_elems_per_sec = report.elems_per_sec();
+            tenant.last_carry_wait_fraction = report.carry_wait_fraction();
+        }
+        if outcome.is_err() {
+            tenant.errors += 1;
+        }
+        let result = match &outcome {
+            Ok(()) => Ok(unfuse(&pending.request, &packed_out[start..end])),
+            Err(_) => Err(RequestError::Panicked),
+        };
+        pending.ticket.fill(result);
+        start = end;
+    }
+    drop(metrics);
+}
+
+/// Recovers one request's outputs from its slice of the fused inclusive
+/// launch: inclusive requests take the slice verbatim; exclusive ones
+/// shift within their own segments (`out[i] = 0` at a head, else
+/// `inclusive[i - 1]` — exact for integer sums, and `i - 1` is in the
+/// same segment by construction).
+fn unfuse(request: &ScanRequest, inclusive: &[i32]) -> Vec<i32> {
+    match request.kind {
+        ScanKind::Inclusive => inclusive.to_vec(),
+        ScanKind::Exclusive => (0..inclusive.len())
+            .map(|i| {
+                let head = i == 0 || request.heads.get(i).copied().unwrap_or(false);
+                if head {
+                    0
+                } else {
+                    inclusive[i - 1]
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RequestError, ScanRequest, ServiceConfig};
+
+    #[test]
+    fn single_request_roundtrip() {
+        let service = ScanService::start(ServiceConfig::default());
+        let got = service
+            .scan(ScanRequest::inclusive("t", vec![3, -1, 4, -1, 5]))
+            .unwrap();
+        assert_eq!(got, vec![3, 2, 6, 5, 10]);
+        let got = service
+            .scan(ScanRequest::exclusive("t", vec![3, -1, 4]))
+            .unwrap();
+        assert_eq!(got, vec![0, 3, 2]);
+        assert_eq!(service.plans_cached(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn segmented_heads_are_honored_and_request_starts_forced() {
+        let service = ScanService::start(ServiceConfig::default());
+        // heads[0] = false is overridden: requests are independent.
+        let got = service
+            .scan(
+                ScanRequest::inclusive("t", vec![1, 1, 1, 1])
+                    .with_heads(vec![false, false, true, false]),
+            )
+            .unwrap();
+        assert_eq!(got, vec![1, 2, 1, 2]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_fail_fast() {
+        let cfg = ServiceConfig::default().with_batch_limits(16, 8);
+        let service = ScanService::start(cfg);
+        let err = service
+            .scan(ScanRequest::inclusive("t", vec![1, 2]).with_heads(vec![true]))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Malformed(_)));
+        let err = service
+            .scan(ScanRequest::inclusive("t", vec![0; 9]))
+            .unwrap_err();
+        assert_eq!(err, RequestError::TooLarge { elems: 9, max: 8 });
+        // The service still works after rejections.
+        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![7])).unwrap(), vec![7]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_request_yields_empty_output() {
+        let service = ScanService::start(ServiceConfig::default());
+        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![])).unwrap(), vec![]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = ScanService::start(ServiceConfig::default());
+        service.shutdown();
+        let err = service.scan(ScanRequest::inclusive("t", vec![1])).unwrap_err();
+        assert_eq!(err, RequestError::ShuttingDown);
+    }
+
+    #[test]
+    fn metrics_attribute_per_tenant() {
+        let service = ScanService::start(ServiceConfig::default());
+        service.scan(ScanRequest::inclusive("a", vec![1, 2, 3])).unwrap();
+        service.scan(ScanRequest::inclusive("b", vec![4])).unwrap();
+        service.scan(ScanRequest::inclusive("a", vec![5, 6])).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.tenants["a"].requests, 2);
+        assert_eq!(m.tenants["a"].elements, 5);
+        assert_eq!(m.tenants["b"].requests, 1);
+        assert_eq!(m.tenants["b"].elements, 1);
+        service.shutdown();
+    }
+}

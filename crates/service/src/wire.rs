@@ -1,0 +1,347 @@
+//! The `sam_serviced` wire protocol: length-prefixed little-endian
+//! frames over a Unix-domain socket, with a fully fallible decoder — a
+//! malformed or truncated frame from one client produces an error
+//! response (or closes that connection), never a server panic.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! frame    := u32 payload_len, payload           (payload_len <= MAX_FRAME)
+//! request  := 0x00 scan | 0x01 shutdown
+//! scan     := u8 kind (0 inclusive, 1 exclusive)
+//!             u16 tenant_len, tenant (utf-8)
+//!             u32 n, n * i32 values
+//!             u8 has_heads, [n * u8 heads if 1]
+//! response := u8 status (0 ok)
+//!             ok:  u32 n, n * i32 outputs
+//!             err: u16 msg_len, msg (utf-8)
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::{ScanKind, ScanRequest};
+
+/// Hard ceiling on a frame's payload, bounding what one client can make
+/// the server allocate (a scan of `MAX_FRAME / 4` elements is already far
+/// past any sane micro-request).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request opcode: execute a scan.
+pub const OP_SCAN: u8 = 0;
+/// Request opcode: ask the server to shut down gracefully.
+pub const OP_SHUTDOWN: u8 = 1;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute a scan on behalf of a tenant.
+    Scan(ScanRequest),
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a declared field.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown scan-kind byte.
+    BadKind(u8),
+    /// Tenant bytes are not UTF-8.
+    BadTenant,
+    /// Unconsumed bytes after the declared fields.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            WireError::BadKind(k) => write!(f, "unknown scan kind {k}"),
+            WireError::BadTenant => write!(f, "tenant is not valid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after request"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if bytes.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = bytes.split_at(n);
+    *bytes = rest;
+    Ok(head)
+}
+
+fn take_u8(bytes: &mut &[u8]) -> Result<u8, WireError> {
+    Ok(take(bytes, 1)?[0])
+}
+
+fn take_u16(bytes: &mut &[u8]) -> Result<u16, WireError> {
+    let raw = take(bytes, 2)?;
+    Ok(u16::from_le_bytes([raw[0], raw[1]]))
+}
+
+fn take_u32(bytes: &mut &[u8]) -> Result<u32, WireError> {
+    let raw = take(bytes, 4)?;
+    Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+}
+
+/// Decodes one request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut rest = payload;
+    let request = match take_u8(&mut rest)? {
+        OP_SHUTDOWN => Request::Shutdown,
+        OP_SCAN => {
+            let kind = match take_u8(&mut rest)? {
+                0 => ScanKind::Inclusive,
+                1 => ScanKind::Exclusive,
+                k => return Err(WireError::BadKind(k)),
+            };
+            let tenant_len = take_u16(&mut rest)? as usize;
+            let tenant = std::str::from_utf8(take(&mut rest, tenant_len)?)
+                .map_err(|_| WireError::BadTenant)?
+                .to_owned();
+            let n = take_u32(&mut rest)? as usize;
+            // n is bounded by the frame cap the caller already enforced;
+            // still guard the multiply so a lying header cannot wrap.
+            if n > MAX_FRAME / 4 {
+                return Err(WireError::Oversized(n));
+            }
+            let raw = take(&mut rest, n * 4)?;
+            let values = raw
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let heads = match take_u8(&mut rest)? {
+                0 => Vec::new(),
+                _ => take(&mut rest, n)?.iter().map(|&b| b != 0).collect(),
+            };
+            Request::Scan(ScanRequest {
+                tenant,
+                kind,
+                values,
+                heads,
+            })
+        }
+        op => return Err(WireError::BadOpcode(op)),
+    };
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes(rest.len()));
+    }
+    Ok(request)
+}
+
+/// Encodes a scan request payload (without the length prefix).
+pub fn encode_scan(request: &ScanRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + request.tenant.len() + request.values.len() * 5);
+    out.push(OP_SCAN);
+    out.push(match request.kind {
+        ScanKind::Inclusive => 0,
+        ScanKind::Exclusive => 1,
+    });
+    let tenant = request.tenant.as_bytes();
+    out.extend_from_slice(&(tenant.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    out.extend_from_slice(&tenant[..tenant.len().min(u16::MAX as usize)]);
+    out.extend_from_slice(&(request.values.len() as u32).to_le_bytes());
+    for v in &request.values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if request.heads.is_empty() {
+        out.push(0);
+    } else {
+        out.push(1);
+        out.extend(request.heads.iter().map(|&h| u8::from(h)));
+    }
+    out
+}
+
+/// Encodes the shutdown request payload.
+pub fn encode_shutdown() -> Vec<u8> {
+    vec![OP_SHUTDOWN]
+}
+
+/// Encodes a response payload: `Ok` outputs or an error message.
+pub fn encode_response(result: &Result<Vec<i32>, String>) -> Vec<u8> {
+    match result {
+        Ok(values) => {
+            let mut out = Vec::with_capacity(5 + values.len() * 4);
+            out.push(0);
+            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Err(msg) => {
+            let bytes = msg.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            let mut out = Vec::with_capacity(3 + len);
+            out.push(1);
+            out.extend_from_slice(&(len as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..len]);
+            out
+        }
+    }
+}
+
+/// Decodes a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Result<Vec<i32>, String>, WireError> {
+    let mut rest = payload;
+    let result = match take_u8(&mut rest)? {
+        0 => {
+            let n = take_u32(&mut rest)? as usize;
+            if n > MAX_FRAME / 4 {
+                return Err(WireError::Oversized(n));
+            }
+            let raw = take(&mut rest, n * 4)?;
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect())
+        }
+        _ => {
+            let len = take_u16(&mut rest)? as usize;
+            let msg = String::from_utf8_lossy(take(&mut rest, len)?).into_owned();
+            Err(msg)
+        }
+    };
+    if !rest.is_empty() {
+        return Err(WireError::TrailingBytes(rest.len()));
+    }
+    Ok(result)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
+/// boundary (client hung up); oversized declarations fail without
+/// allocating.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversized(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A minimal blocking client for `sam_serviced` over a Unix socket.
+#[derive(Debug)]
+pub struct Client {
+    stream: std::os::unix::net::UnixStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(path: impl AsRef<std::path::Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: std::os::unix::net::UnixStream::connect(path)?,
+        })
+    }
+
+    /// Executes one scan request and returns its outputs, or the server's
+    /// error message.
+    pub fn scan(&mut self, request: &ScanRequest) -> std::io::Result<Result<Vec<i32>, String>> {
+        write_frame(&mut self.stream, &encode_scan(request))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up")
+        })?;
+        decode_response(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Asks the server to shut down gracefully; returns its acknowledgment.
+    pub fn shutdown_server(&mut self) -> std::io::Result<Result<Vec<i32>, String>> {
+        write_frame(&mut self.stream, &encode_shutdown())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up")
+        })?;
+        decode_response(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_request_roundtrips() {
+        let req = ScanRequest::exclusive("tenant-x", vec![1, -2, 3])
+            .with_heads(vec![true, false, true]);
+        let decoded = decode_request(&encode_scan(&req)).unwrap();
+        assert_eq!(decoded, Request::Scan(req));
+        assert_eq!(decode_request(&encode_shutdown()).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let ok: Result<Vec<i32>, String> = Ok(vec![5, 10, -3]);
+        assert_eq!(decode_response(&encode_response(&ok)).unwrap(), ok);
+        let err: Result<Vec<i32>, String> = Err("queue full".into());
+        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_are_errors_not_panics() {
+        let full = encode_scan(&ScanRequest::inclusive("t", vec![1, 2, 3]));
+        for cut in 0..full.len() {
+            assert!(
+                decode_request(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert_eq!(decode_request(&[9]), Err(WireError::BadOpcode(9)));
+        assert_eq!(decode_request(&[OP_SCAN, 7]), Err(WireError::BadKind(7)));
+        let mut trailing = full;
+        trailing.push(0);
+        assert_eq!(decode_request(&trailing), Err(WireError::TrailingBytes(1)));
+        // A header declaring more values than any frame can carry is
+        // rejected before the allocation it implies.
+        let mut lying = vec![OP_SCAN, 0, 0, 0];
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoders() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for len in 0..256usize {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end smoke over the real binary: spawn `sam_serviced` on a Unix
+//! socket, drive concurrent clients against it, check every response
+//! against a local oracle, then ask for a graceful shutdown and assert a
+//! clean exit. This is the CI "service smoke job" — it proves the wire
+//! decoding, the shared coalescing service, and the shutdown path hold
+//! together as a process, not just as a library.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sam_service::wire::Client;
+use sam_service::{ScanKind, ScanRequest};
+
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sam-smoke-{tag}-{}.sock", std::process::id()))
+}
+
+fn spawn_server(socket: &std::path::Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_sam_serviced"))
+        .arg("--socket")
+        .arg(socket)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sam_serviced")
+}
+
+/// Retry until the server's socket accepts connections.
+fn connect_with_retry(socket: &std::path::Path) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match Client::connect(socket) {
+            Ok(client) => return client,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("server never came up on {}: {e}", socket.display()),
+        }
+    }
+}
+
+fn oracle(values: &[i32], heads: &[bool], kind: ScanKind) -> Vec<i32> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut run = 0i32;
+    for (i, &v) in values.iter().enumerate() {
+        let head = i == 0 || heads.get(i).copied().unwrap_or(false);
+        if head {
+            run = 0;
+        }
+        match kind {
+            ScanKind::Inclusive => {
+                run = run.wrapping_add(v);
+                out.push(run);
+            }
+            ScanKind::Exclusive => {
+                out.push(run);
+                run = run.wrapping_add(v);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn concurrent_clients_get_correct_results_and_clean_shutdown() {
+    let socket = socket_path("main");
+    let mut server = spawn_server(
+        &socket,
+        &["--executors", "1", "--batch-requests", "64", "--batch-elems", "4096"],
+    );
+    connect_with_retry(&socket);
+
+    let clients = 4;
+    let per_client = 40;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let mut client = connect_with_retry(&socket);
+                let mut state = (c as u64 + 1) * 0x9e3779b97f4a7c15;
+                for r in 0..per_client {
+                    let n = (state % 40) as usize + 1;
+                    let mut values = Vec::with_capacity(n);
+                    let mut heads = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        values.push((state >> 40) as i32 % 1000);
+                        heads.push(state.is_multiple_of(11));
+                    }
+                    let kind = if state.is_multiple_of(2) {
+                        ScanKind::Inclusive
+                    } else {
+                        ScanKind::Exclusive
+                    };
+                    let request = ScanRequest::new(format!("client-{c}"), kind, values.clone())
+                        .with_heads(heads.clone());
+                    let got = client
+                        .scan(&request)
+                        .expect("io")
+                        .expect("server-side success");
+                    assert_eq!(
+                        got,
+                        oracle(&values, &heads, kind),
+                        "client {c} request {r}"
+                    );
+                }
+            });
+        }
+    });
+
+    // A frame the decoder cannot parse (heads shorter than values — the
+    // wire format cannot even express it) gets an error response before
+    // the server closes that connection.
+    let mut client = connect_with_retry(&socket);
+    let bad = ScanRequest::inclusive("bad", vec![1, 2, 3]).with_heads(vec![true]);
+    let response = client.scan(&bad).expect("io");
+    assert!(response.is_err(), "undecodable frame must answer with an error");
+
+    // A well-formed frame the *service* rejects (over the element cap) is
+    // a per-request error and the connection keeps serving.
+    let mut client = connect_with_retry(&socket);
+    let response = client
+        .scan(&ScanRequest::inclusive("big", vec![0; 5000]))
+        .expect("io");
+    assert!(response.is_err(), "oversized request must be an error response");
+    let good = client.scan(&ScanRequest::inclusive("big", vec![1, 2, 3])).expect("io");
+    assert_eq!(good.unwrap(), vec![1, 3, 6]);
+
+    // Graceful shutdown: acknowledged, exits 0, socket removed.
+    assert!(client.shutdown_server().expect("io").is_ok());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        match server.try_wait().expect("wait") {
+            Some(status) => break status,
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            None => {
+                let _ = server.kill();
+                panic!("server did not exit after shutdown request");
+            }
+        }
+    };
+    assert!(status.success(), "server exit status: {status:?}");
+    assert!(!socket.exists(), "socket file cleaned up");
+}
+
+#[test]
+fn chaos_panic_fails_the_batch_but_not_the_server() {
+    let socket = socket_path("chaos");
+    let mut server = spawn_server(
+        &socket,
+        &["--chaos-panic-tenant", "evil", "--executors", "1"],
+    );
+    let mut client = connect_with_retry(&socket);
+
+    // The poisoned tenant's request fails...
+    let response = client
+        .scan(&ScanRequest::inclusive("evil", vec![1, 2, 3]))
+        .expect("io");
+    assert!(response.is_err(), "chaos batch must fail");
+    // ...but the server keeps serving other tenants on a fresh session.
+    let good = client
+        .scan(&ScanRequest::inclusive("fine", vec![1, 2, 3]))
+        .expect("io");
+    assert_eq!(good.unwrap(), vec![1, 3, 6]);
+
+    assert!(client.shutdown_server().expect("io").is_ok());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match server.try_wait().expect("wait") {
+            Some(status) => {
+                assert!(status.success());
+                break;
+            }
+            None if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            None => {
+                let _ = server.kill();
+                panic!("chaos server did not exit");
+            }
+        }
+    }
+}

@@ -296,3 +296,112 @@ fn traced_adaptive_episodes_are_observed_once() {
         );
     }
 }
+
+/// Two concurrent adaptive plans whose persisted tunings converged on
+/// *conflicting* NT-store thresholds are both honored: each dispatch sees
+/// its own per-plan threshold (scoped override), and the process-global
+/// default is never clobbered. Before the fix, every adaptive dispatch
+/// wrote its threshold into the one `set_nt_store_min_bytes` global, so
+/// the last plan to start silently retuned every other plan in the
+/// process — this test fails on that code.
+#[test]
+fn conflicting_per_plan_nt_thresholds_are_both_honored() {
+    use sam_core::adapt::{tuning_key, Geometry, StoredTuning};
+
+    let dir = scratch_dir("nt-conflict");
+    let _guard = EnvGuard::set(TuningStore::ENV_DIR, &dir);
+    let store = TuningStore::from_env().expect("env points at the store");
+
+    // Seed two specs at Steady with opposite NT optima: one forces
+    // streaming stores everywhere, the other disables them entirely.
+    let spec_lo = ScanSpec::inclusive();
+    let spec_hi = ScanSpec::inclusive().with_order(2).unwrap();
+    let seed = |spec: &ScanSpec, nt_min_bytes: usize| {
+        let geometry = Geometry {
+            nt_min_bytes,
+            ..Geometry::frozen(spec, 2, 32 * 1024)
+        };
+        store
+            .save(
+                &tuning_key(spec),
+                &StoredTuning { geometry, score: 1e9, episodes: 64 },
+            )
+            .expect("seed tuning");
+    };
+    let (nt_lo, nt_hi) = (1usize << 20, usize::MAX);
+    seed(&spec_lo, nt_lo);
+    seed(&spec_hi, nt_hi);
+
+    let plan_lo = ScanPlan::new(spec_lo, Engine::cpu(2), PlanHint::adaptive());
+    let plan_hi = ScanPlan::new(spec_hi, Engine::cpu(2), PlanHint::adaptive());
+    for (plan, nt) in [(&plan_lo, nt_lo), (&plan_hi, nt_hi)] {
+        let snap = plan.adaptive_snapshot().unwrap();
+        assert!(snap.seeded, "plans start from the stored tunings");
+        assert_eq!(snap.geometry.nt_min_bytes, nt, "each plan keeps its own optimum");
+    }
+
+    let input = pattern_i64(64 * 1024, 41);
+    let expected_lo = ScanPlan::new(spec_lo, Engine::cpu(2), PlanHint::default()).scan(&input, &Sum);
+    let expected_hi = ScanPlan::new(spec_hi, Engine::cpu(2), PlanHint::default()).scan(&input, &Sum);
+
+    // Interleave the two plans from concurrent threads; both must stay
+    // bit-identical, and neither may leak its threshold into the global.
+    let default_nt = sam_core::simd::nt_store_min_bytes();
+    std::thread::scope(|scope| {
+        let lo = scope.spawn(|| {
+            for _ in 0..16 {
+                assert_eq!(plan_lo.scan(&input, &Sum), expected_lo);
+            }
+        });
+        let hi = scope.spawn(|| {
+            for _ in 0..16 {
+                assert_eq!(plan_hi.scan(&input, &Sum), expected_hi);
+            }
+        });
+        lo.join().unwrap();
+        hi.join().unwrap();
+    });
+    assert_eq!(
+        sam_core::simd::nt_store_min_bytes(),
+        default_nt,
+        "adaptive dispatch must not clobber the process-global NT default"
+    );
+    // After racing, each plan still holds (and will dispatch with) its
+    // own converged threshold.
+    for (plan, nt) in [(&plan_lo, nt_lo), (&plan_hi, nt_hi)] {
+        let snap = plan.adaptive_snapshot().unwrap();
+        assert_eq!(snap.geometry.nt_min_bytes, nt);
+        assert_eq!(snap.best.nt_min_bytes, nt);
+    }
+
+    drop(_guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scoped NT override itself: per-thread, nesting restores, and the
+/// `0` guard is a no-op that keeps consulting the process default.
+#[test]
+fn nt_store_override_is_scoped_and_nested() {
+    use sam_core::simd::{nt_store_min_bytes, nt_store_override};
+
+    let base = nt_store_min_bytes();
+    {
+        let _a = nt_store_override(123);
+        assert_eq!(nt_store_min_bytes(), 123);
+        {
+            let _b = nt_store_override(456);
+            assert_eq!(nt_store_min_bytes(), 456);
+            let _noop = nt_store_override(0);
+            assert_eq!(nt_store_min_bytes(), 456, "0 means no override");
+        }
+        assert_eq!(nt_store_min_bytes(), 123, "inner guard restores");
+        // Other threads are unaffected by this thread's override.
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| assert_eq!(nt_store_min_bytes(), base))
+                .join()
+                .unwrap();
+        });
+    }
+    assert_eq!(nt_store_min_bytes(), base, "outer guard restores");
+}

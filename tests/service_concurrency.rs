@@ -1,0 +1,330 @@
+//! Service-layer concurrency invariants: coalesced batches are
+//! bit-identical to per-request serial scans across the engine grid
+//! (hostile schedules included), a panicking handler fails only its
+//! batch, backpressure sheds instead of blocking, and metrics attribute
+//! work per tenant.
+//!
+//! The oracle is [`sam_core::segmented::scan_serial`] applied
+//! per-request — the definition the coalesced segmented launch must be
+//! indistinguishable from.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sam_core::cpu::CpuScanner;
+use sam_core::op::Sum;
+use sam_core::segmented::scan_serial;
+use sam_core::{Engine, ScanKind};
+use sam_service::{RequestError, ScanRequest, ScanService, ServiceConfig};
+
+/// The per-request oracle: exactly what the tenant would get from a
+/// dedicated serial scan of their own request.
+fn oracle(request: &ScanRequest) -> Vec<i32> {
+    let mut heads = if request.heads.is_empty() {
+        vec![false; request.values.len()]
+    } else {
+        request.heads.clone()
+    };
+    if let Some(first) = heads.first_mut() {
+        *first = true;
+    }
+    scan_serial(&request.values, &heads, &Sum, request.kind)
+}
+
+fn engine_grid() -> Vec<Engine> {
+    vec![
+        Engine::Serial,
+        Engine::cpu(1),
+        Engine::Cpu(CpuScanner::new(3).with_chunk_elems(64)),
+        Engine::auto(),
+    ]
+}
+
+fn hostile_engine(seed: u64) -> Engine {
+    use gpu_sim::sched::{SchedPolicy, Scheduler};
+    Engine::Cpu(
+        CpuScanner::new(3)
+            .with_chunk_elems(32)
+            .with_scheduler(Arc::new(Scheduler::new(SchedPolicy::hostile(seed)))),
+    )
+}
+
+fn request_strategy() -> impl Strategy<Value = ScanRequest> {
+    (
+        0usize..4,
+        prop_oneof![Just(ScanKind::Inclusive), Just(ScanKind::Exclusive)],
+        prop::collection::vec(any::<i32>(), 0..60),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(tenant, kind, values, with_heads, head_seed)| {
+            let heads = if with_heads {
+                let mut state = head_seed | 1;
+                (0..values.len())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state % 5 == 0
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            ScanRequest::new(format!("tenant-{tenant}"), kind, values).with_heads(heads)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coalesced execution is invisible: whatever mix of tenants, kinds,
+    /// head patterns, engines, and batch limits, every response is
+    /// bit-identical to the per-request serial oracle.
+    #[test]
+    fn coalesced_batches_match_per_request_serial_scans(
+        requests in prop::collection::vec(request_strategy(), 1..40),
+        engine_idx in 0usize..4,
+        max_batch_requests in prop_oneof![Just(1usize), Just(3), Just(256)],
+        submit_threads in 1usize..4,
+    ) {
+        let cfg = ServiceConfig::default()
+            .with_engine(engine_grid().swap_remove(engine_idx))
+            .with_batch_limits(max_batch_requests, 1 << 20);
+        let service = ScanService::start(cfg);
+        let expected: Vec<Vec<i32>> = requests.iter().map(oracle).collect();
+        // Concurrent submitters round-robin the request list; the queue
+        // interleaves them arbitrarily — responses must not care.
+        let results: Vec<Vec<i32>> = std::thread::scope(|scope| {
+            let service = &service;
+            let chunks: Vec<Vec<(usize, ScanRequest)>> = (0..submit_threads)
+                .map(|t| {
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(submit_threads)
+                        .map(|(i, r)| (i, r.clone()))
+                        .collect()
+                })
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, request)| {
+                                (i, service.scan(request).expect("request succeeds"))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut results = vec![Vec::new(); requests.len()];
+            for handle in handles {
+                for (i, out) in handle.join().expect("submitter") {
+                    results[i] = out;
+                }
+            }
+            results
+        });
+        prop_assert_eq!(results, expected);
+        let metrics = service.metrics();
+        prop_assert_eq!(metrics.requests, requests.len() as u64);
+        service.shutdown();
+    }
+
+    /// Same identity under adversarial scheduling of the engine's worker
+    /// pool: seeded hostile schedules reorder publishes and stall
+    /// predecessors under the coalesced launch.
+    #[test]
+    fn coalesced_batches_survive_hostile_schedules(
+        requests in prop::collection::vec(request_strategy(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ServiceConfig::default().with_engine(hostile_engine(seed));
+        let service = ScanService::start(cfg);
+        for request in &requests {
+            let expect = oracle(request);
+            let got = service.scan(request.clone()).expect("request succeeds");
+            prop_assert_eq!(got, expect);
+        }
+        service.shutdown();
+    }
+}
+
+/// A handler panic fails its own batch with [`RequestError::Panicked`]
+/// and nothing else: the executor pool keeps draining, later requests
+/// succeed on a rebuilt session, and the panic is counted.
+#[test]
+fn panicking_handler_fails_batch_without_stranding_the_pool() {
+    let cfg = ServiceConfig {
+        chaos_panic_tenant: Some("evil".into()),
+        ..ServiceConfig::default()
+    };
+    let service = ScanService::start(cfg);
+    for round in 0..5 {
+        let err = service
+            .scan(ScanRequest::inclusive("evil", vec![1, 2, 3]))
+            .unwrap_err();
+        assert_eq!(err, RequestError::Panicked, "round {round}");
+        // The pool survived: a clean tenant gets correct results from the
+        // rebuilt session immediately afterwards.
+        let got = service
+            .scan(ScanRequest::inclusive("fine", vec![1, 2, 3, 4]))
+            .unwrap();
+        assert_eq!(got, vec![1, 3, 6, 10], "round {round}");
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.panicked_batches, 5);
+    assert_eq!(metrics.tenants["evil"].errors, 5);
+    assert_eq!(metrics.tenants["fine"].errors, 0);
+    service.shutdown();
+}
+
+/// Concurrent mixed traffic with a chaos tenant: every response is either
+/// the exact oracle output or `Panicked` (when coalesced with the chaos
+/// tenant) — never silently wrong — and the service survives it all.
+#[test]
+fn chaos_traffic_never_corrupts_other_tenants() {
+    let cfg = ServiceConfig {
+        chaos_panic_tenant: Some("evil".into()),
+        ..ServiceConfig::default()
+    };
+    let service = ScanService::start(cfg);
+    std::thread::scope(|scope| {
+        let service = &service;
+        for t in 0..3 {
+            scope.spawn(move || {
+                for r in 0..30 {
+                    let tenant = if (t + r) % 4 == 0 { "evil" } else { "good" };
+                    let values: Vec<i32> = (0..20).map(|i| i * (t as i32 + 1) - r).collect();
+                    let request = ScanRequest::inclusive(tenant, values);
+                    let expect = oracle(&request);
+                    match service.scan(request) {
+                        Ok(got) => assert_eq!(got, expect, "correct or failed, never wrong"),
+                        Err(err) => assert_eq!(err, RequestError::Panicked),
+                    }
+                }
+            });
+        }
+    });
+    // Still alive and correct afterwards.
+    assert_eq!(
+        service.scan(ScanRequest::inclusive("good", vec![7, 7])).unwrap(),
+        vec![7, 14]
+    );
+    service.shutdown();
+}
+
+/// Backpressure: a zero-capacity queue sheds every `try_submit`
+/// immediately, and a small queue under a thundering herd sheds the
+/// overflow while everything admitted completes correctly.
+#[test]
+fn bounded_queue_sheds_load_instead_of_growing() {
+    let service = ScanService::start(ServiceConfig::default().with_queue_capacity(0));
+    let err = service
+        .try_submit(ScanRequest::inclusive("t", vec![1]))
+        .unwrap_err();
+    assert_eq!(err, RequestError::QueueFull);
+    assert_eq!(service.metrics().shed, 1);
+    service.shutdown();
+
+    let service = ScanService::start(ServiceConfig::default().with_queue_capacity(4));
+    let outcomes: Vec<bool> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut accepted = Vec::new();
+                    let mut admitted = Vec::new();
+                    for r in 0..50 {
+                        let request =
+                            ScanRequest::inclusive(format!("t{t}"), vec![t as i32, r]);
+                        let expect = oracle(&request);
+                        match service.try_submit(request) {
+                            Ok(handle) => admitted.push((handle, expect)),
+                            Err(RequestError::QueueFull) => accepted.push(false),
+                            Err(other) => panic!("unexpected: {other}"),
+                        }
+                    }
+                    for (handle, expect) in admitted {
+                        assert_eq!(handle.wait().unwrap(), expect);
+                        accepted.push(true);
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("herd thread"))
+            .collect()
+    });
+    assert_eq!(outcomes.len(), 200);
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.requests + metrics.shed,
+        200,
+        "every request either executed or was shed"
+    );
+    service.shutdown();
+}
+
+/// The poll-driven front-end path: `try_take` returns `None` until the
+/// batch completes, then yields the result exactly once.
+#[test]
+fn response_handles_support_polling() {
+    let service = ScanService::start(ServiceConfig::default());
+    let handle = service
+        .submit(ScanRequest::inclusive("poll", vec![2, 4, 6]))
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let result = loop {
+        if let Some(result) = handle.try_take() {
+            break result;
+        }
+        assert!(std::time::Instant::now() < deadline, "poll never completed");
+        std::thread::yield_now();
+    };
+    assert_eq!(result.unwrap(), vec![2, 6, 12]);
+    assert!(handle.try_take().is_none(), "a response is consumed once");
+    service.shutdown();
+}
+
+/// Coalescing observably happens: requests enqueued while the executor is
+/// busy ride one launch, and the plan cache holds exactly one entry.
+#[test]
+fn queued_micro_requests_coalesce_into_shared_launches() {
+    let service = ScanService::start(ServiceConfig::default().with_executors(1));
+    // Occupy the lone executor with a chunky request, then enqueue a
+    // burst of micro-requests behind it.
+    let big = service
+        .submit(ScanRequest::inclusive("big", (0..200_000).map(|i| i % 7).collect()))
+        .unwrap();
+    let micros: Vec<_> = (0..32)
+        .map(|i| {
+            let request = ScanRequest::inclusive(format!("micro-{i}"), vec![i, i + 1]);
+            let expect = oracle(&request);
+            (service.submit(request).unwrap(), expect)
+        })
+        .collect();
+    big.wait().unwrap();
+    for (handle, expect) in micros {
+        assert_eq!(handle.wait().unwrap(), expect);
+    }
+    let metrics = service.metrics();
+    assert!(
+        metrics.max_batch_requests >= 2,
+        "a backlog must fuse requests (max batch = {})",
+        metrics.max_batch_requests
+    );
+    assert!(
+        metrics.batches < metrics.requests,
+        "{} launches for {} requests is no coalescing",
+        metrics.batches,
+        metrics.requests
+    );
+    service.shutdown();
+}

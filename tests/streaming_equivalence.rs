@@ -165,6 +165,74 @@ proptest! {
         streamed.extend_from_slice(tail_session.feed(&input[split..]));
         prop_assert_eq!(streamed, one_shot);
     }
+
+    /// Every strict prefix of a valid checkpoint encoding decodes to an
+    /// error — never a panic, never a silently shorter state. This is the
+    /// truncated-wire case a service hits when a client connection dies
+    /// mid-upload of a resume frame.
+    #[test]
+    fn truncated_checkpoint_bytes_decode_to_errors(
+        input in prop::collection::vec(any::<i64>(), 1..500),
+        order in order_strategy(),
+        tuple in tuple_strategy(),
+        exclusive in any::<bool>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+        let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        session.feed(&input);
+        let bytes = session.carry_state().to_bytes();
+        // The whole frame round-trips; every strict prefix is rejected.
+        prop_assert!(CarryState::from_bytes(&bytes).is_ok());
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(
+            CarryState::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+
+    /// Arbitrary byte corruption of a checkpoint never panics the decoder,
+    /// and anything it *does* accept re-encodes canonically (so a decoded
+    /// frame is always a frame some session could have written).
+    #[test]
+    fn corrupt_checkpoint_bytes_never_panic_the_decoder(
+        input in prop::collection::vec(any::<i64>(), 1..500),
+        order in order_strategy(),
+        tuple in tuple_strategy(),
+        flips in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+        chop in any::<u16>(),
+    ) {
+        let spec = ScanSpec::new(ScanKind::Inclusive, order, tuple).expect("valid spec");
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        session.feed(&input);
+        let mut bytes = session.carry_state().to_bytes();
+        for &(pos, val) in &flips {
+            let i = pos as usize % bytes.len();
+            bytes[i] = val;
+        }
+        bytes.truncate(bytes.len() - (chop as usize % bytes.len()));
+        if let Ok(decoded) = CarryState::from_bytes(&bytes) {
+            prop_assert_eq!(decoded.to_bytes(), bytes, "accepted frames are canonical");
+        }
+    }
+
+    /// Unstructured fuzz: random byte soup through the decoder — the
+    /// hostile-client case. Must return, not panic.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let _ = CarryState::from_bytes(&bytes);
+        // Stack a plausible magic on the front so the fuzz regularly gets
+        // past the magic check into the field parsers.
+        let mut framed = b"SAMC".to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = CarryState::from_bytes(&framed);
+    }
 }
 
 /// A non-cascade operator (`Max` has no exact carry weights) exercises the
