@@ -1,0 +1,169 @@
+//! EMA/IIR telemetry filtering as a linear-recurrence scan.
+//!
+//! A first-order infinite-impulse-response filter `y_i = x_i + a·y_{i-1}`
+//! looks irreducibly serial — every output depends on the previous one —
+//! but it is a scan over the companion-matrix semigroup
+//! ([`sam_core::carry::CarrySemigroup`]): the engines run it in one
+//! parallel pass through [`LinRec`], bit-identical to the serial loop.
+//! Telemetry pipelines use exactly this shape for leaky counters (rate
+//! limiting, AIMD congestion windows), decayed error accumulators, and
+//! polynomial rolling hashes; higher orders cover resonant/biquad-style
+//! integer filters.
+//!
+//! # Exactness envelope
+//!
+//! All arithmetic is wrapping (`Z/2^64`), so the scan equals the
+//! mathematical recurrence exactly as long as every intermediate stays
+//! below the type's width; beyond that both the serial loop and the scan
+//! wrap the *same* way — bit-identity holds unconditionally, integer
+//! meaning within the envelope. Fractional decay `p/q` does not exist in
+//! the integers, but for **odd** `q` division by `q` is multiplication by
+//! its modular inverse, so [`ema_fixed_point`] runs the exact residue of
+//! the rational EMA `s_i = (p·x_i + (q-p)·s_{i-1}) / q`; whenever the true
+//! value is an integer, the residue *is* the value.
+
+use sam_core::cpu::CpuScanner;
+use sam_core::op::LinRec;
+use sam_core::ScanSpec;
+
+/// Leaky accumulator `y_i = x_i + decay·y_{i-1}` (wrapping) — the decayed
+/// counter at each sample. `decay = 1` degenerates to the prefix sum.
+pub fn leaky_accumulate(samples: &[i64], decay: i64, scanner: &CpuScanner) -> Vec<i64> {
+    let op = LinRec::first_order(decay).expect("i64 is an exact wrapping ring");
+    scanner.scan(samples, &op, &ScanSpec::inclusive())
+}
+
+/// Order-`k` integer IIR filter `y_i = x_i + Σ_j coeffs[j]·y_{i-1-j}`
+/// (wrapping), `coeffs[0]` weighting the most recent output.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty or longer than
+/// [`ScanSpec::MAX_ORDER`].
+pub fn iir_filter(samples: &[i64], coeffs: &[i64], scanner: &CpuScanner) -> Vec<i64> {
+    let op = LinRec::new(coeffs.to_vec()).expect("valid integer coefficient vector");
+    let spec = ScanSpec::inclusive()
+        .with_order(coeffs.len() as u32)
+        .expect("order bounded by LinRec construction");
+    scanner.scan(samples, &op, &spec)
+}
+
+/// Polynomial rolling hash `h_i = base·h_{i-1} + data[i]` (Rabin–Karp
+/// framing over `Z/2^64`): every prefix hash of `data` in one scan.
+pub fn rolling_hash(data: &[u64], base: u64, scanner: &CpuScanner) -> Vec<u64> {
+    let op = LinRec::first_order(base).expect("u64 is an exact wrapping ring");
+    scanner.scan(data, &op, &ScanSpec::inclusive())
+}
+
+/// Fixed-point EMA `s_i = (num·x_i + (den-num)·s_{i-1}) / den` computed in
+/// the residue ring `Z/2^64`: division by the **odd** `den` is
+/// multiplication by its modular inverse, making the fractional recurrence
+/// an exact [`LinRec`] scan. The returned residues equal the true rational
+/// EMA at every index where that value is an integer (see the module
+/// docs).
+///
+/// # Panics
+///
+/// Panics if `den` is even (no inverse in `Z/2^64`) or `num > den`.
+pub fn ema_fixed_point(samples: &[u64], num: u64, den: u64, scanner: &CpuScanner) -> Vec<u64> {
+    assert!(den % 2 == 1, "fixed-point EMA needs an odd denominator");
+    assert!(num <= den, "EMA weight must satisfy num <= den");
+    let inv = mod_inverse(den);
+    // s_i = b_i + a·s_{i-1} with a = (den-num)/den and b_i = (num/den)·x_i,
+    // both exact in the residue ring.
+    let a = (den - num).wrapping_mul(inv);
+    let scale = num.wrapping_mul(inv);
+    let scaled: Vec<u64> = samples.iter().map(|&x| x.wrapping_mul(scale)).collect();
+    let op = LinRec::first_order(a).expect("u64 is an exact wrapping ring");
+    scanner.scan(&scaled, &op, &ScanSpec::inclusive())
+}
+
+/// The multiplicative inverse of an odd `d` in `Z/2^64` (Newton–Hensel:
+/// each step doubles the number of correct low bits).
+fn mod_inverse(d: u64) -> u64 {
+    debug_assert!(d % 2 == 1);
+    let mut x = d; // 3 correct bits to start (d*d ≡ 1 mod 8 for odd d)
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(d.wrapping_mul(x)));
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanner() -> CpuScanner {
+        CpuScanner::new(3).with_chunk_elems(100)
+    }
+
+    /// The obvious serial loop every scan must match bit for bit.
+    fn serial_iir(samples: &[i64], coeffs: &[i64]) -> Vec<i64> {
+        let mut hist = vec![0i64; coeffs.len()];
+        samples
+            .iter()
+            .map(|&x| {
+                let pred = coeffs
+                    .iter()
+                    .zip(&hist)
+                    .fold(0i64, |a, (&c, &h)| a.wrapping_add(c.wrapping_mul(h)));
+                let y = x.wrapping_add(pred);
+                hist.rotate_right(1);
+                hist[0] = y;
+                y
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leaky_accumulator_matches_serial_loop() {
+        let samples: Vec<i64> = (0..5000).map(|i| (i * 37 % 101) - 50).collect();
+        for decay in [0i64, 1, 2, -3] {
+            let got = leaky_accumulate(&samples, decay, &scanner());
+            assert_eq!(got, serial_iir(&samples, &[decay]), "decay={decay}");
+        }
+    }
+
+    #[test]
+    fn higher_order_iir_matches_serial_loop() {
+        let samples: Vec<i64> = (0..3000).map(|i| (i * 31 % 67) - 33).collect();
+        for coeffs in [vec![1i64, 1], vec![2, -1, 3], vec![5, 0, 0, 0, 1]] {
+            let got = iir_filter(&samples, &coeffs, &scanner());
+            assert_eq!(got, serial_iir(&samples, &coeffs), "{coeffs:?}");
+        }
+    }
+
+    #[test]
+    fn rolling_hash_matches_horner() {
+        let data: Vec<u64> = (0..2000).map(|i| (i * 2654435761) % 251).collect();
+        let base = 1000003u64;
+        let got = rolling_hash(&data, base, &scanner());
+        let mut h = 0u64;
+        for (i, &b) in data.iter().enumerate() {
+            h = h.wrapping_mul(base).wrapping_add(b);
+            assert_eq!(got[i], h, "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_ema_recovers_integral_averages() {
+        // Construct samples whose exact EMA with alpha = 1/3 is integral:
+        // pick the true series s, derive x_i = 3 s_i - 2 s_{i-1}.
+        let s_true: Vec<u64> = (0..1500).map(|i| (i * i % 977) + 10).collect();
+        let mut samples = Vec::with_capacity(s_true.len());
+        let mut prev = 0u64;
+        for &s in &s_true {
+            samples.push(3u64.wrapping_mul(s).wrapping_sub(2u64.wrapping_mul(prev)));
+            prev = s;
+        }
+        let got = ema_fixed_point(&samples, 1, 3, &scanner());
+        assert_eq!(got, s_true);
+    }
+
+    #[test]
+    fn mod_inverse_is_exact() {
+        for d in [1u64, 3, 5, 251, 1000003, u64::MAX] {
+            assert_eq!(d.wrapping_mul(mod_inverse(d)), 1, "d={d}");
+        }
+    }
+}

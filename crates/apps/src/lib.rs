@@ -22,12 +22,18 @@
 //!   tuple-based scan with tuple size = image width;
 //! * [`line_of_sight`] — terrain visibility via one max-scan;
 //! * [`quicksort`] — Blelloch's flattened quicksort: every partition of
-//!   the recursion tree split simultaneously by segmented scans.
+//!   the recursion tree split simultaneously by segmented scans;
+//! * [`ema`] — EMA/IIR telemetry filtering and rolling hashes as
+//!   linear-recurrence scans ([`sam_core::op::LinRec`]);
+//! * [`ledger`] — compound-interest ledger rollups, one account per tuple
+//!   lane, on the same recurrence operator.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod ema;
 pub mod histogram;
+pub mod ledger;
 pub mod lexer;
 pub mod line_of_sight;
 pub mod polynomial;
@@ -38,7 +44,9 @@ pub mod sort;
 pub mod spmv;
 pub mod string_compare;
 
+pub use ema::{ema_fixed_point, iir_filter, leaky_accumulate, rolling_hash};
 pub use histogram::histogram;
+pub use ledger::{opening_balances, roll_forward, roll_forward_accounts};
 pub use lexer::{tokenize, Dfa, Token, TokenKind};
 pub use quicksort::quicksort_scan;
 pub use sat::Sat;

@@ -14,6 +14,10 @@
 //!   --sizes LIST      comma-separated log2 sizes, overrides --full/--quick
 //!   --engines LIST    comma-separated from serial,cpu,session (default serial,cpu)
 //!   --session-reuse   shorthand for --engines session: plan-once steady state
+//!   --ema             also measure the EMA/linear-recurrence series: the
+//!                     same grid with a LinRec operator of depth = order
+//!                     (engine names prefixed "ema_"), so the recurrence
+//!                     path's throughput is tracked next to the sum scans
 //!   --min-time SECS   per-point time budget in seconds (default 0.25)
 //!   --memcpy-baseline also measure plain copy bandwidth per size
 //!   --adaptive        also run the adaptive-plans benchmark (see below)
@@ -62,7 +66,7 @@
 //! scans dispatched to.
 
 use sam_core::cpu::CpuScanner;
-use sam_core::op::Sum;
+use sam_core::op::{LinRec, Sum};
 use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
 use sam_core::scanner::Engine;
 use sam_core::{serial, ScanSpec};
@@ -98,7 +102,7 @@ struct AdaptiveRecord {
 const USAGE: &str = "usage: throughput [--out PATH] [--full | --quick] \
                      [--orders LIST] [--tuples LIST] [--sizes LIST] \
                      [--engines serial,cpu,session] [--session-reuse] \
-                     [--min-time SECS] [--memcpy-baseline] \
+                     [--ema] [--min-time SECS] [--memcpy-baseline] \
                      [--adaptive] [--check-adaptive] [--assert-seeded]";
 
 fn usage_error(msg: &str) -> ! {
@@ -143,6 +147,7 @@ fn main() {
     let mut log_sizes: Vec<usize> = (10..=24).step_by(2).collect();
     let mut budget_secs = 0.25f64;
     let mut memcpy_baseline = false;
+    let mut ema_series = false;
     let mut adaptive_mode = false;
     let mut check_adaptive = false;
     let mut assert_seeded = false;
@@ -174,6 +179,7 @@ fn main() {
             }
             "--session-reuse" => engines = vec!["session".into()],
             "--memcpy-baseline" => memcpy_baseline = true,
+            "--ema" => ema_series = true,
             "--adaptive" => adaptive_mode = true,
             "--check-adaptive" => check_adaptive = true,
             "--assert-seeded" => assert_seeded = true,
@@ -310,6 +316,64 @@ fn main() {
                         "{:>6} n=2^{lg:<2} order={order} tuple={tuple}: {:>10.0} elems/s ({reps} reps)",
                         engine, n as f64 / best
                     );
+                }
+            }
+        }
+        if ema_series {
+            // The EMA/linear-recurrence series: an order-k LinRec over the
+            // same data, spec order doubling as recurrence depth (k
+            // multiply-adds per element vs the cascade's k adds, same 1R+1W
+            // traffic). Fixed small coefficient taps keep the work
+            // representative of telemetry filters.
+            for &order in &orders {
+                for &tuple in &tuples {
+                    const TAPS: [i64; 8] = [3, -1, 2, 0, 1, -2, 1, 1];
+                    let coeffs: Vec<i64> = (0..order).map(|j| TAPS[j % TAPS.len()]).collect();
+                    let op = LinRec::new(coeffs).expect("exact-ring coefficients");
+                    let spec = ScanSpec::inclusive()
+                        .with_order(order as u32)
+                        .expect("valid order")
+                        .with_tuple(tuple)
+                        .expect("valid tuple");
+                    for engine in &engines {
+                        let session: Option<ScanSession<i64, LinRec<i64>>> = (engine
+                            == "session")
+                            .then(|| {
+                                ScanPlan::new(
+                                    spec,
+                                    Engine::Cpu(cpu.clone()),
+                                    PlanHint::expected_len(n),
+                                )
+                                .session(op.clone())
+                            });
+                        let (best, reps) = measure(&mut || match engine.as_str() {
+                            "serial" => serial::scan_into(data, &mut out, &op, &spec),
+                            "cpu" => cpu.scan_into(data, &mut out, &op, &spec),
+                            "session" => session
+                                .as_ref()
+                                .expect("session built for this engine")
+                                .scan_into(data, &mut out),
+                            other => panic!("unknown engine {other}"),
+                        });
+                        records.push(Record {
+                            engine: match engine.as_str() {
+                                "serial" => "ema_serial",
+                                "cpu" => "ema_cpu",
+                                "session" => "ema_session",
+                                other => panic!("unknown engine {other}"),
+                            },
+                            n,
+                            order: order as u32,
+                            tuple,
+                            secs_best: best,
+                            elems_per_sec: n as f64 / best,
+                            reps,
+                        });
+                        eprintln!(
+                            "ema_{:<4} n=2^{lg:<2} order={order} tuple={tuple}: {:>10.0} elems/s ({reps} reps)",
+                            engine, n as f64 / best
+                        );
+                    }
                 }
             }
         }

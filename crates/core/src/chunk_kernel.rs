@@ -44,7 +44,7 @@
 //! preserved per engine, not just per run.
 
 use crate::element::{IntElement, ScanElement};
-use crate::op::{And, FnOp, Max, Min, Or, Prod, ScanOp, Sum, Xor};
+use crate::op::{And, FnOp, LinRec, Max, Min, Or, Prod, ScanOp, Sum, Xor};
 use crate::segmented::{Element32, Packed32, SegmentedOp};
 
 /// Number of elements the unrolled in-register kernel processes per block.
@@ -249,6 +249,22 @@ pub trait ChunkKernel<T: Copy>: ScanOp<T> {
     /// [`ChunkKernel::carry_weight`]: for wrapping-integer sums, `v * w`.
     fn weight_apply(&self, _v: T, _w: T) -> T {
         unimplemented!("carry weights require a cascade-capable operator")
+    }
+
+    /// For linear-recurrence operators ([`LinRec`]), the fixed coefficient
+    /// vector `[a_1, ..., a_k]` of `x_i = b_i + a_1 x_{i-1} + ... +
+    /// a_k x_{i-k}`; `None` for every combine-style operator.
+    ///
+    /// This is the dispatch hook [`crate::carry::CarryPlan`] and the plan
+    /// layer use to select the companion-matrix carry semigroup instead of
+    /// the binomial Toeplitz one, and to pin recurrence specs onto the
+    /// cascade kernel path (an iterated multi-pass scan has no meaning for
+    /// a recurrence). When `Some`, the coefficient count must equal the
+    /// spec order `q`, and the `cascade_*` methods reinterpret `state` as
+    /// the last `q` outputs per lane (row 0 most recent) rather than the
+    /// per-order running sums.
+    fn recurrence_coeffs(&self) -> Option<&[T]> {
+        None
     }
 
     /// Order-`q` strided cascade of `src` into `dst` in **one sweep**,
@@ -941,7 +957,7 @@ impl<T: ScanElement> ChunkKernel<T> for Sum {
     }
 
     fn supports_cascade(&self) -> bool {
-        T::EXACT_ASSOC && T::EXACT_MUL
+        T::EXACT_RING
     }
 
     fn carry_weight(&self, w: u64) -> T {
@@ -1046,6 +1062,162 @@ fn sum_in_place_blocked<T: ScanElement>(data: &mut [T]) {
     for v in blocks.into_remainder() {
         carry = carry.add(*v);
         *v = carry;
+    }
+}
+
+// --- LinRec: fixed-coefficient linear-recurrence sweeps --------------------
+
+/// Rotating-lane linear-recurrence sweep, reading `src` and writing `dst`.
+///
+/// `state` holds the last `q` outputs per lane, most recent in row 0
+/// (`state[j * s + lane] = x_{i-1-j}`). Per element the predecessor
+/// contribution `pred = sum_j a_j * x_{i-1-j}` is formed, the new output
+/// `y = x + pred` shifts the lane's window down one row, and the emitted
+/// value is `y` (inclusive) or `pred` (exclusive) — the recurrence
+/// analogue of the sum cascade's pre-update top row, which reduces to the
+/// exclusive prefix sum for `coeffs == [1]`.
+fn linrec_from<T: ScanElement>(
+    coeffs: &[T],
+    src: &[T],
+    dst: &mut [T],
+    base: usize,
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = coeffs.len();
+    let mut lane = base % s;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        let mut pred = T::ZERO;
+        for (j, &c) in coeffs.iter().enumerate() {
+            pred = pred.add(state[j * s + lane].mul(c));
+        }
+        let y = x.add(pred);
+        for j in (1..q).rev() {
+            state[j * s + lane] = state[(j - 1) * s + lane];
+        }
+        state[lane] = y;
+        *d = if exclusive { pred } else { y };
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
+    }
+}
+
+/// In-place form of [`linrec_from`].
+fn linrec_in_place<T: ScanElement>(
+    coeffs: &[T],
+    data: &mut [T],
+    base: usize,
+    s: usize,
+    state: &mut [T],
+    exclusive: bool,
+) {
+    let q = coeffs.len();
+    let mut lane = base % s;
+    for v in data.iter_mut() {
+        let x = *v;
+        let mut pred = T::ZERO;
+        for (j, &c) in coeffs.iter().enumerate() {
+            pred = pred.add(state[j * s + lane].mul(c));
+        }
+        let y = x.add(pred);
+        for j in (1..q).rev() {
+            state[j * s + lane] = state[(j - 1) * s + lane];
+        }
+        state[lane] = y;
+        *v = if exclusive { pred } else { y };
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
+    }
+}
+
+/// Totals-only form of [`linrec_from`]: advances the output window without
+/// writing outputs (the single-pass protocol's first sweep).
+fn linrec_totals<T: ScanElement>(coeffs: &[T], src: &[T], base: usize, s: usize, state: &mut [T]) {
+    let q = coeffs.len();
+    let mut lane = base % s;
+    for &x in src {
+        let mut pred = T::ZERO;
+        for (j, &c) in coeffs.iter().enumerate() {
+            pred = pred.add(state[j * s + lane].mul(c));
+        }
+        let y = x.add(pred);
+        for j in (1..q).rev() {
+            state[j * s + lane] = state[(j - 1) * s + lane];
+        }
+        state[lane] = y;
+        lane += 1;
+        if lane == s {
+            lane = 0;
+        }
+    }
+}
+
+/// Validates a recurrence state buffer against the coefficient order: the
+/// `q x s` window must hold exactly one row per coefficient.
+fn check_recurrence_state(state_len: usize, s: usize, order: usize) {
+    check_cascade_state(state_len, s);
+    assert_eq!(
+        state_len / s,
+        order,
+        "recurrence state must hold exactly `order` rows per lane"
+    );
+}
+
+impl<T: ScanElement> ChunkKernel<T> for LinRec<T> {
+    fn supports_cascade(&self) -> bool {
+        // Construction is gated on `T::EXACT_RING`, so every live value
+        // supports the companion-matrix carry algebra.
+        true
+    }
+
+    fn carry_weight(&self, w: u64) -> T {
+        T::from_u64_wrapping(w)
+    }
+
+    fn weight_apply(&self, v: T, w: T) -> T {
+        v.mul(w)
+    }
+
+    fn recurrence_coeffs(&self) -> Option<&[T]> {
+        Some(self.coeffs())
+    }
+
+    fn cascade_scan_from(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        check_fused(src.len(), dst.len(), s);
+        check_recurrence_state(state.len(), s, self.coeffs().len());
+        linrec_from(self.coeffs(), src, dst, base, s, state, exclusive);
+    }
+
+    fn cascade_scan_in_place(
+        &self,
+        data: &mut [T],
+        base: usize,
+        s: usize,
+        state: &mut [T],
+        exclusive: bool,
+    ) {
+        assert!(s > 0, "stride must be positive");
+        check_recurrence_state(state.len(), s, self.coeffs().len());
+        linrec_in_place(self.coeffs(), data, base, s, state, exclusive);
+    }
+
+    fn cascade_totals(&self, src: &[T], base: usize, s: usize, state: &mut [T]) {
+        assert!(s > 0, "stride must be positive");
+        check_recurrence_state(state.len(), s, self.coeffs().len());
+        linrec_totals(self.coeffs(), src, base, s, state);
     }
 }
 

@@ -290,8 +290,12 @@ impl CpuScanner {
             // (see `obs::charge_elem_pass`). Covers all three paths below.
             obs::charge_elem_pass(sink.metrics(), n, std::mem::size_of::<T>());
         }
-        let legal_cascade = spec.order() > 1 && op.supports_cascade();
-        let path = if path == crate::plan::KernelPath::Cascade && legal_cascade {
+        // Recurrence operators pin the cascade: the iterated kernels would
+        // compute a plain sum instead of the recurrence (see
+        // `serial::scan_into_path` for the same rule).
+        let recurrence = op.recurrence_coeffs().is_some();
+        let legal_cascade = op.supports_cascade() && (spec.order() > 1 || recurrence);
+        let path = if legal_cascade && (path == crate::plan::KernelPath::Cascade || recurrence) {
             crate::plan::KernelPath::Cascade
         } else {
             crate::plan::KernelPath::Iterated

@@ -48,6 +48,17 @@ pub trait ScanElement:
     /// two's-complement integer types (ring `Z/2^w`); false for floats,
     /// where `x * 3.0` and `x + x + x` can round differently.
     const EXACT_MUL: bool;
+    /// Whether the type forms an *exact commutative ring* under `add` and
+    /// `mul` — associativity ([`ScanElement::EXACT_ASSOC`]) plus exact
+    /// scalar multiples ([`ScanElement::EXACT_MUL`]), together.
+    ///
+    /// This is the single capability both matrix carry semigroups
+    /// ([`crate::carry::CarrySemigroup`]) require: the binomial Toeplitz
+    /// weights of higher-order sums and the companion-matrix powers of
+    /// linear recurrences are both exact precisely over `Z/2^w`. The sum
+    /// cascade gate and [`crate::op::LinRec`] construction both test this
+    /// one const instead of re-deriving the conjunction.
+    const EXACT_RING: bool = Self::EXACT_ASSOC && Self::EXACT_MUL;
     /// Whether this type *is* one of the eight primitive wrapping integer
     /// types (`i8`/`u8` … `i64`/`u64`), bit-reinterpretable as the
     /// unsigned integer of its width.
@@ -260,5 +271,14 @@ mod tests {
         }
         assert!(!exact_mul::<f64>());
         assert!(!exact_mul::<f32>());
+    }
+
+    #[test]
+    fn exact_ring_is_the_conjunction() {
+        fn ring<T: ScanElement>() -> bool {
+            T::EXACT_RING
+        }
+        assert!(ring::<i8>() && ring::<u16>() && ring::<i32>() && ring::<u64>());
+        assert!(!ring::<f32>() && !ring::<f64>());
     }
 }

@@ -188,13 +188,30 @@ where
 {
     assert!(params.items_per_thread > 0, "items_per_thread must be positive");
     let threads = gpu.spec().threads_per_block as usize;
-    let chunk_elems = threads * params.items_per_thread;
+    let q = spec.order() as usize;
+    let s = spec.tuple();
+    let mut chunk_elems = threads * params.items_per_thread;
+    if op.recurrence_coeffs().is_some() {
+        // Recurrence operators exist only on the single-pass cascade path:
+        // the iterated per-order rounds and the chained ablation both fold
+        // plain sums, which has no recurrence meaning. Refuse loudly rather
+        // than silently computing the wrong series, and lane-align the
+        // chunk size so the companion-matrix carry distances are uniform.
+        assert!(
+            !params.iterated_orders,
+            "iterated_orders cannot run a linear-recurrence operator"
+        );
+        assert_eq!(
+            params.carry,
+            CarryPropagation::Decoupled,
+            "chained carry propagation cannot run a linear-recurrence operator"
+        );
+        chunk_elems = chunk_elems.div_ceil(s) * s;
+    }
     let n = input.len();
     let k_max = gpu.spec().persistent_blocks() as usize;
     let num_chunks = chunkops::num_chunks(n.max(1), chunk_elems);
     let k = k_max.min(num_chunks);
-    let q = spec.order() as usize;
-    let s = spec.tuple();
 
     // The single-pass cascade path (see `crate::carry`): every chunk
     // publishes all `q * s` local sums from ONE sweep and releases its flag

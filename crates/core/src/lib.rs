@@ -63,7 +63,8 @@ pub use element::{IntElement, ScanElement};
 pub use isa::Isa;
 pub use kernel::{AuxMode, CarryPropagation, SamParams, SamRunInfo};
 pub use obs::{Phase, ScanReport, Span, TraceSink, WaitHistogram};
-pub use op::ScanOp;
+pub use carry::CarrySemigroup;
+pub use op::{LinRec, LinRecError, ScanOp};
 pub use plan::{CarryState, CarryStateError, PlanHint, ScanPlan, ScanSession};
 pub use scanner::{auto_parallel_threshold, Engine, Scanner, AUTO_PARALLEL_THRESHOLD};
 

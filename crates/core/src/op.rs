@@ -123,6 +123,133 @@ impl<T: IntElement> ScanOp<T> for Or {
     }
 }
 
+/// A fixed-coefficient linear recurrence `x_i = b_i + Σ_j coeffs[j] * x_{i-1-j}`
+/// over a wrapping-integer element type — EMA/IIR filters, compound-interest
+/// rollups, polynomial rolling hashes, Fibonacci-like sequences.
+///
+/// This is not a plain fold of `combine` over the inputs: the engines run
+/// it through the shared cascade/carry machinery
+/// ([`crate::carry::CarrySemigroup::Companion`]), with the order-`k` state
+/// (the last `k` outputs per lane) carried across chunks by companion-matrix
+/// powers. Scans with a `LinRec` operator must use a [`crate::config::ScanSpec`]
+/// whose `order` equals `coeffs.len()`; the inclusive kind emits `x_i`, the
+/// exclusive kind the prediction `Σ_j coeffs[j] * x_{i-1-j} = x_i - b_i`
+/// (which reduces to the exclusive prefix sum for `coeffs == [1]`).
+///
+/// Construction is gated exactly like the sum cascade: the element type
+/// must form an exact wrapping ring ([`ScanElement::EXACT_RING`]), so
+/// bit-identity across engines and chunkings holds by construction —
+/// floats are rejected up front rather than silently drifting.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::op::LinRec;
+/// use sam_core::ScanSpec;
+///
+/// // Leaky accumulator y_i = x_i + 3 * y_{i-1} (wrapping).
+/// let op = LinRec::new(vec![3i64]).unwrap();
+/// let spec = ScanSpec::inclusive(); // order 1 == coeffs.len()
+/// let out = sam_core::scan(&[1i64, 1, 1, 1], &op, &spec);
+/// assert_eq!(out, vec![1, 4, 13, 40]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinRec<T> {
+    coeffs: Vec<T>,
+}
+
+/// Why a [`LinRec`] operator could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinRecError {
+    /// No coefficients: an order-0 recurrence is not a recurrence.
+    Empty,
+    /// More coefficients than [`crate::config::ScanSpec::MAX_ORDER`].
+    TooLong {
+        /// Coefficients supplied.
+        got: usize,
+        /// The ceiling ([`crate::config::ScanSpec::MAX_ORDER`]).
+        max: usize,
+    },
+    /// The element type is not an exact wrapping ring
+    /// ([`ScanElement::EXACT_RING`] is false — e.g. floats), so the
+    /// carry algebra cannot be bit-exact.
+    Inexact,
+}
+
+impl std::fmt::Display for LinRecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinRecError::Empty => write!(f, "a linear recurrence needs at least one coefficient"),
+            LinRecError::TooLong { got, max } => {
+                write!(f, "recurrence order {got} exceeds the maximum {max}")
+            }
+            LinRecError::Inexact => write!(
+                f,
+                "linear recurrences require an exact wrapping-integer element type"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinRecError {}
+
+impl<T: ScanElement> LinRec<T> {
+    /// Builds the recurrence `x_i = b_i + Σ_j coeffs[j] * x_{i-1-j}`
+    /// (`coeffs[0]` multiplies the most recent output).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or over-long coefficient vectors and element types
+    /// that are not exact wrapping rings (see [`LinRecError`]).
+    pub fn new(coeffs: Vec<T>) -> Result<Self, LinRecError> {
+        if coeffs.is_empty() {
+            return Err(LinRecError::Empty);
+        }
+        let max = crate::config::ScanSpec::MAX_ORDER as usize;
+        if coeffs.len() > max {
+            return Err(LinRecError::TooLong {
+                got: coeffs.len(),
+                max,
+            });
+        }
+        if !T::EXACT_RING {
+            return Err(LinRecError::Inexact);
+        }
+        Ok(LinRec { coeffs })
+    }
+
+    /// Convenience constructor for the first-order recurrence
+    /// `x_i = b_i + a * x_{i-1}`.
+    pub fn first_order(a: T) -> Result<Self, LinRecError> {
+        LinRec::new(vec![a])
+    }
+
+    /// The coefficient vector (`coeffs[0]` multiplies `x_{i-1}`).
+    pub fn coeffs(&self) -> &[T] {
+        &self.coeffs
+    }
+
+    /// The recurrence order `k` — the spec order a scan with this
+    /// operator must use.
+    pub fn order(&self) -> u32 {
+        self.coeffs.len() as u32
+    }
+}
+
+impl<T: ScanElement> ScanOp<T> for LinRec<T> {
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    // `combine` is the *state-ring addition* the carry algebra folds with
+    // (seed assembly, totals zeroing) — it is NOT an associative rewrite
+    // of the recurrence itself. Every execution path is gated onto the
+    // cascade kernels (`kernel_path`, the engines' recurrence overrides),
+    // so no generic iterated path ever folds inputs with it.
+    fn combine(&self, a: T, b: T) -> T {
+        a.add(b)
+    }
+}
+
 /// An arbitrary operator built from a closure and an identity value.
 ///
 /// Useful for one-off scans without defining a new type. The caller asserts
@@ -215,5 +342,23 @@ mod tests {
         let op = FnOp::new(i32::MIN, |a: i32, b: i32| a.max(b));
         assert_eq!(op.combine(4, 9), 9);
         assert_eq!(op.identity(), i32::MIN);
+    }
+
+    #[test]
+    fn linrec_construction_is_gated() {
+        assert!(LinRec::<i64>::new(vec![2, 3]).is_ok());
+        assert_eq!(LinRec::<i64>::new(vec![]), Err(LinRecError::Empty));
+        let max = crate::config::ScanSpec::MAX_ORDER as usize;
+        assert_eq!(
+            LinRec::<u32>::new(vec![1; max + 1]),
+            Err(LinRecError::TooLong { got: max + 1, max })
+        );
+        // Floats are not an exact ring: rejected at construction, so no
+        // engine can ever see an inexact recurrence.
+        assert_eq!(LinRec::<f64>::new(vec![0.5]), Err(LinRecError::Inexact));
+        assert_eq!(LinRec::<f32>::first_order(1.0), Err(LinRecError::Inexact));
+        let op = LinRec::<i64>::first_order(7).unwrap();
+        assert_eq!(op.coeffs(), &[7]);
+        assert_eq!(op.order(), 1);
     }
 }

@@ -50,14 +50,17 @@
 //!
 //! # Checkpoint format
 //!
-//! [`CarryState`] records the spec echo (kind/order/tuple), the number of
-//! elements consumed, and the `q x s` lane sums as `u64` bit patterns
-//! ([`Pod64::to_bits`]). [`CarryState::to_bytes`] gives a stable binary
-//! encoding (magic `SAMC`, version byte, little-endian fields) with
-//! [`CarryState::from_bytes`] as its inverse; the type also implements
-//! the workspace `serde::Serialize` for structured export. Resuming
-//! treats the checkpoint as a chunk boundary: exact at any element for
-//! integer operators, exact at engine chunk boundaries for floats.
+//! [`CarryState`] records the spec echo (kind/order/tuple), the operator
+//! family and coefficient fingerprint (a running-total state and a
+//! recurrence output window are different objects even at equal shapes —
+//! see [`CarryState::op_family`]), the number of elements consumed, and
+//! the `q x s` lane sums as `u64` bit patterns ([`Pod64::to_bits`]).
+//! [`CarryState::to_bytes`] gives a stable binary encoding (magic `SAMC`,
+//! version byte, little-endian fields) with [`CarryState::from_bytes`] as
+//! its inverse; the type also implements the workspace `serde::Serialize`
+//! for structured export. Resuming validates spec *and* operator identity,
+//! then treats the checkpoint as a chunk boundary: exact at any element
+//! for integer operators, exact at engine chunk boundaries for floats.
 
 use std::sync::Arc;
 
@@ -84,11 +87,13 @@ pub enum KernelPath {
 /// Resolves the cascade-vs-iterated kernel selection for `op` and `spec`.
 ///
 /// The cascade path requires an operator with exact weight application
-/// ([`ChunkKernel::supports_cascade`]) and only pays off past order 1;
-/// everything else takes the iterated path. All three engines now consult
-/// this single gate.
+/// ([`ChunkKernel::supports_cascade`]); for plain combine operators it only
+/// pays off past order 1, while recurrence operators
+/// ([`ChunkKernel::recurrence_coeffs`]) *must* take it at every order — the
+/// iterated multi-pass kernels have no recurrence meaning. Everything else
+/// takes the iterated path. All three engines consult this single gate.
 pub fn kernel_path<T: Copy, Op: ChunkKernel<T>>(op: &Op, spec: &ScanSpec) -> KernelPath {
-    if spec.order() > 1 && op.supports_cascade() {
+    if op.supports_cascade() && (spec.order() > 1 || op.recurrence_coeffs().is_some()) {
         KernelPath::Cascade
     } else {
         KernelPath::Iterated
@@ -1023,10 +1028,13 @@ impl<T: Pod64, Op: ChunkKernel<T>> ScanSession<T, Op> {
             _ => self.state.iter().map(|&v| v.to_bits()).collect(),
         };
         let spec = self.plan.spec;
+        let (op_family, op_fingerprint) = session_op_identity(&self.op);
         CarryState {
             kind: spec.kind(),
             order: spec.order(),
             tuple: spec.tuple(),
+            op_family,
+            op_fingerprint,
             elements_seen: self.elements_seen,
             state: sums,
         }
@@ -1049,6 +1057,15 @@ impl<T: Pod64, Op: ChunkKernel<T>> ScanSession<T, Op> {
             return Err(CarryStateError::SpecMismatch {
                 expected: spec,
                 got: checkpoint.spec(),
+            });
+        }
+        let (op_family, op_fingerprint) = session_op_identity(&self.op);
+        if checkpoint.op_family != op_family || checkpoint.op_fingerprint != op_fingerprint {
+            return Err(CarryStateError::OpMismatch {
+                expected_family: op_family,
+                expected_fingerprint: op_fingerprint,
+                got_family: checkpoint.op_family,
+                got_fingerprint: checkpoint.op_fingerprint,
             });
         }
         if checkpoint.state.len() != spec.lane_state_len() {
@@ -1081,14 +1098,38 @@ pub struct CarryState {
     kind: ScanKind,
     order: u32,
     tuple: usize,
+    op_family: u8,
+    op_fingerprint: u64,
     elements_seen: u64,
     state: Vec<u64>,
 }
 
 /// Magic prefix of the [`CarryState`] binary encoding.
 const CARRY_MAGIC: &[u8; 4] = b"SAMC";
-/// Version byte of the [`CarryState`] binary encoding.
-const CARRY_VERSION: u8 = 1;
+/// Version byte of the [`CarryState`] binary encoding. Version 2 added the
+/// operator-family byte and coefficient fingerprint; version-1 checkpoints
+/// predate recurrence operators and are rejected rather than guessed at.
+const CARRY_VERSION: u8 = 2;
+
+/// [`CarryState::op_family`] value for combine-style operators (sums &c.):
+/// the lane state holds per-order running totals.
+const OP_FAMILY_COMBINE: u8 = 0;
+/// [`CarryState::op_family`] value for linear-recurrence operators
+/// ([`crate::op::LinRec`]): the lane state holds the last `q` outputs.
+const OP_FAMILY_RECURRENCE: u8 = 1;
+
+/// The `(family, fingerprint)` identity of a session operator, stamped
+/// into every checkpoint and re-derived at resume time (see
+/// [`CarryState::op_family`]).
+fn session_op_identity<T: Pod64, Op: ChunkKernel<T>>(op: &Op) -> (u8, u64) {
+    match op.recurrence_coeffs() {
+        Some(coeffs) => (
+            OP_FAMILY_RECURRENCE,
+            crate::carry::recurrence_fingerprint(coeffs),
+        ),
+        None => (OP_FAMILY_COMBINE, 0),
+    }
+}
 
 impl CarryState {
     /// The spec this checkpoint belongs to.
@@ -1103,25 +1144,45 @@ impl CarryState {
     }
 
     /// The `q x s` lane sums as `u64` bit patterns
-    /// (`state[order_index * tuple + lane]`).
+    /// (`state[order_index * tuple + lane]`). For recurrence checkpoints
+    /// ([`CarryState::op_family`] = 1) the rows are the last `q` outputs
+    /// per lane instead, row 0 most recent.
     pub fn lane_sums(&self) -> &[u64] {
         &self.state
     }
 
+    /// The operator family this checkpoint's lane state belongs to:
+    /// `0` for combine-style operators (per-order running totals), `1` for
+    /// linear recurrences (the last `q` outputs per lane). The same bits
+    /// mean different things in the two families, which is why resuming
+    /// validates the family before touching the state.
+    pub fn op_family(&self) -> u8 {
+        self.op_family
+    }
+
+    /// For recurrence checkpoints, the FNV-1a fingerprint of the
+    /// coefficient vector ([`crate::carry::recurrence_fingerprint`]);
+    /// `0` for combine-style operators.
+    pub fn op_fingerprint(&self) -> u64 {
+        self.op_fingerprint
+    }
+
     /// Encodes the checkpoint into a stable, self-describing byte string:
-    /// `SAMC`, a version byte, then little-endian kind/order/tuple/
-    /// position/length/lane-sums.
+    /// `SAMC`, a version byte, then little-endian kind/family/order/tuple/
+    /// position/fingerprint/length/lane-sums.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + 1 + 1 + 4 + 8 + 8 + 8 + 8 * self.state.len());
+        let mut out = Vec::with_capacity(4 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 8 + 8 * self.state.len());
         out.extend_from_slice(CARRY_MAGIC);
         out.push(CARRY_VERSION);
         out.push(match self.kind {
             ScanKind::Inclusive => 0,
             ScanKind::Exclusive => 1,
         });
+        out.push(self.op_family);
         out.extend_from_slice(&self.order.to_le_bytes());
         out.extend_from_slice(&(self.tuple as u64).to_le_bytes());
         out.extend_from_slice(&self.elements_seen.to_le_bytes());
+        out.extend_from_slice(&self.op_fingerprint.to_le_bytes());
         out.extend_from_slice(&(self.state.len() as u64).to_le_bytes());
         for &w in &self.state {
             out.extend_from_slice(&w.to_le_bytes());
@@ -1166,6 +1227,10 @@ impl CarryState {
             1 => ScanKind::Exclusive,
             k => return Err(CarryStateError::BadKind(k)),
         };
+        let op_family = match take_arr::<1>(&mut rest)?[0] {
+            f @ (OP_FAMILY_COMBINE | OP_FAMILY_RECURRENCE) => f,
+            f => return Err(CarryStateError::BadFamily(f)),
+        };
         let order = u32::from_le_bytes(take_arr::<4>(&mut rest)?);
         let tuple_wire = take_u64(&mut rest)?;
         // A declared tuple past the address space cannot be a valid spec;
@@ -1180,6 +1245,13 @@ impl CarryState {
                 got: (order as usize).saturating_mul(tuple),
             })?;
         let elements_seen = take_u64(&mut rest)?;
+        let op_fingerprint = take_u64(&mut rest)?;
+        // A combine-family checkpoint carries no coefficients, so its
+        // fingerprint slot must be zero — anything else is corruption, not
+        // a value to be ignored.
+        if op_family == OP_FAMILY_COMBINE && op_fingerprint != 0 {
+            return Err(CarryStateError::BadFamily(op_family));
+        }
         let len_wire = take_u64(&mut rest)?;
         // Validate the declared length *before* sizing any allocation:
         // `lane_state_len` is small for every valid spec, so a corrupt
@@ -1202,6 +1274,8 @@ impl CarryState {
             kind,
             order,
             tuple,
+            op_family,
+            op_fingerprint,
             elements_seen,
             state,
         })
@@ -1212,6 +1286,8 @@ serde::impl_serialize_struct!(CarryState {
     kind,
     order,
     tuple,
+    op_family,
+    op_fingerprint,
     elements_seen,
     state
 });
@@ -1225,6 +1301,9 @@ pub enum CarryStateError {
     BadVersion(u8),
     /// Unknown scan-kind byte.
     BadKind(u8),
+    /// Unknown operator-family byte, or a combine-family checkpoint with a
+    /// nonzero coefficient fingerprint.
+    BadFamily(u8),
     /// The byte string ended before the declared fields.
     Truncated,
     /// Unconsumed bytes after the declared fields.
@@ -1243,6 +1322,21 @@ pub enum CarryStateError {
         /// The checkpoint's spec echo.
         got: ScanSpec,
     },
+    /// The checkpoint's operator family or coefficient fingerprint does
+    /// not match the session's operator: the same state bits mean
+    /// different things under different operators (running totals vs.
+    /// recurrence output windows, or different recurrence coefficients),
+    /// so resuming across them would silently compute a different series.
+    OpMismatch {
+        /// The session operator's family.
+        expected_family: u8,
+        /// The session operator's coefficient fingerprint (0 for combine).
+        expected_fingerprint: u64,
+        /// The checkpoint's family.
+        got_family: u8,
+        /// The checkpoint's fingerprint.
+        got_fingerprint: u64,
+    },
 }
 
 impl std::fmt::Display for CarryStateError {
@@ -1251,6 +1345,9 @@ impl std::fmt::Display for CarryStateError {
             CarryStateError::BadMagic => write!(f, "carry state missing SAMC magic"),
             CarryStateError::BadVersion(v) => write!(f, "unsupported carry-state version {v}"),
             CarryStateError::BadKind(k) => write!(f, "unknown scan-kind byte {k}"),
+            CarryStateError::BadFamily(v) => {
+                write!(f, "unknown or inconsistent operator-family byte {v}")
+            }
             CarryStateError::Truncated => write!(f, "carry state truncated"),
             CarryStateError::TrailingBytes(n) => {
                 write!(f, "carry state has {n} trailing bytes")
@@ -1262,6 +1359,17 @@ impl std::fmt::Display for CarryStateError {
             CarryStateError::SpecMismatch { expected, got } => write!(
                 f,
                 "carry state for {got:?} cannot resume a session for {expected:?}"
+            ),
+            CarryStateError::OpMismatch {
+                expected_family,
+                expected_fingerprint,
+                got_family,
+                got_fingerprint,
+            } => write!(
+                f,
+                "carry state for op family {got_family} (fingerprint {got_fingerprint:#x}) \
+                 cannot resume a session for op family {expected_family} \
+                 (fingerprint {expected_fingerprint:#x})"
             ),
         }
     }
@@ -1309,6 +1417,12 @@ mod tests {
         );
         assert_eq!(kernel_path::<i64, _>(&Max, &o2), KernelPath::Iterated);
         assert_eq!(kernel_path::<f64, _>(&Sum, &o2), KernelPath::Iterated);
+        // Recurrence operators pin the cascade at *every* order, including
+        // order 1 where plain sums stay iterated.
+        let ema = crate::op::LinRec::first_order(3i64).unwrap();
+        assert_eq!(kernel_path(&ema, &ScanSpec::inclusive()), KernelPath::Cascade);
+        let fib2 = crate::op::LinRec::new(vec![1i64, 1]).unwrap();
+        assert_eq!(kernel_path(&fib2, &o2), KernelPath::Cascade);
     }
 
     #[test]
@@ -1461,6 +1575,136 @@ mod tests {
             b.resume(&cs),
             Err(CarryStateError::SpecMismatch { .. })
         ));
+    }
+
+    /// Serial reference for the order-`k` recurrence
+    /// `x_i = b_i + sum_j coeffs[j] * x_{i-1-j}` per tuple lane.
+    fn recurrence_oracle(input: &[i64], coeffs: &[i64], s: usize, exclusive: bool) -> Vec<i64> {
+        let mut hist: Vec<Vec<i64>> = vec![vec![0; coeffs.len()]; s];
+        let mut out = Vec::with_capacity(input.len());
+        for (i, &b) in input.iter().enumerate() {
+            let lane = i % s;
+            let pred: i64 = coeffs
+                .iter()
+                .zip(&hist[lane])
+                .map(|(&c, &x)| c.wrapping_mul(x))
+                .fold(0i64, |a, v| a.wrapping_add(v));
+            let y = b.wrapping_add(pred);
+            hist[lane].rotate_right(1);
+            hist[lane][0] = y;
+            out.push(if exclusive { pred } else { y });
+        }
+        out
+    }
+
+    #[test]
+    fn recurrence_scan_matches_oracle_on_every_engine() {
+        let input = ints(40_000);
+        for (coeffs, kind) in [
+            (vec![3i64], ScanKind::Inclusive),
+            (vec![1, 1], ScanKind::Exclusive),
+            (vec![2, 0, 5], ScanKind::Inclusive),
+        ] {
+            let op = crate::op::LinRec::new(coeffs.clone()).unwrap();
+            for tuple in [1usize, 3] {
+                let spec = ScanSpec::new(kind, coeffs.len() as u32, tuple).unwrap();
+                let expect =
+                    recurrence_oracle(&input, &coeffs, tuple, kind == ScanKind::Exclusive);
+                for engine in engines() {
+                    let plan = ScanPlan::new(spec, engine, PlanHint::default());
+                    assert_eq!(plan.scan(&input, &op), expect, "{coeffs:?} s={tuple} {plan:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_sessions_stream_and_resume_on_every_engine() {
+        let input = ints(9_000);
+        let op = crate::op::LinRec::new(vec![2i64, 7]).unwrap();
+        let spec = ScanSpec::inclusive().with_order(2).unwrap().with_tuple(3).unwrap();
+        let expect = recurrence_oracle(&input, &[2, 7], 3, false);
+        for engine in engines() {
+            let plan = ScanPlan::new(spec, engine, PlanHint::default());
+            assert_eq!(plan.scan(&input, &op), expect, "{plan:?}");
+
+            // Stream in ragged batches, checkpointing mid-stream.
+            let mut first = plan.session::<i64, _>(op.clone());
+            let split = 4_111;
+            let mut got = first.feed(&input[..split]).to_vec();
+            let cs = first.carry_state();
+            assert_eq!(cs.op_family(), 1);
+            let checkpoint = CarryState::from_bytes(&cs.to_bytes()).unwrap();
+            drop(first);
+
+            let mut second = plan.session::<i64, _>(op.clone());
+            second.resume(&checkpoint).unwrap();
+            got.extend_from_slice(second.feed(&input[split..]));
+            assert_eq!(got, expect, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_op_family_and_fingerprint_mismatch() {
+        let spec = ScanSpec::inclusive();
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+
+        // A sum checkpoint must not seed a same-shape recurrence session...
+        let mut sum_session = plan.session::<i64, _>(Sum);
+        sum_session.feed(&[1, 2, 3]);
+        let sum_cs = sum_session.carry_state();
+        assert_eq!(sum_cs.op_family(), 0);
+        assert_eq!(sum_cs.op_fingerprint(), 0);
+        let ema = crate::op::LinRec::first_order(3i64).unwrap();
+        let mut rec_session = plan.session::<i64, _>(ema.clone());
+        assert!(matches!(
+            rec_session.resume(&sum_cs),
+            Err(CarryStateError::OpMismatch { .. })
+        ));
+
+        // ...nor a recurrence checkpoint a sum session...
+        rec_session.feed(&[1, 2, 3]);
+        let rec_cs = rec_session.carry_state();
+        let mut sum_session = plan.session::<i64, _>(Sum);
+        assert!(matches!(
+            sum_session.resume(&rec_cs),
+            Err(CarryStateError::OpMismatch { .. })
+        ));
+
+        // ...nor a recurrence session with different coefficients.
+        let other = crate::op::LinRec::first_order(4i64).unwrap();
+        let mut other_session = plan.session::<i64, _>(other);
+        assert!(matches!(
+            other_session.resume(&rec_cs),
+            Err(CarryStateError::OpMismatch { .. })
+        ));
+        // Same coefficients round-trip fine.
+        let mut same_session = plan.session::<i64, _>(ema);
+        same_session.resume(&rec_cs).unwrap();
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_family_and_nonzero_combine_fingerprint() {
+        let plan = ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default());
+        let mut session = plan.session::<i64, _>(Sum);
+        session.feed(&[1, 2, 3]);
+        let bytes = session.carry_state().to_bytes();
+        // Offset 6 is the family byte (after magic, version, kind).
+        let mut bad = bytes.clone();
+        bad[6] = 7;
+        assert_eq!(
+            CarryState::from_bytes(&bad),
+            Err(CarryStateError::BadFamily(7))
+        );
+        // Offset 27 starts the fingerprint (after 4+1+1+1 header bytes,
+        // 4-byte order, 8-byte tuple, 8-byte position); a combine-family
+        // checkpoint must carry a zero fingerprint.
+        let mut bad = bytes.clone();
+        bad[27] = 1;
+        assert_eq!(
+            CarryState::from_bytes(&bad),
+            Err(CarryStateError::BadFamily(0))
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn scan_into<T: Copy>(input: &[T], out: &mut [T], op: &impl ChunkKernel<T>, 
 /// iterated kernels where [`kernel_path`] would pick the cascade, but a
 /// cascade request for an operator/spec the gate rejects silently runs
 /// iterated. Both paths are bit-identical wherever both are legal, so this
-/// only ever changes speed.
+/// only ever changes speed. The one exception is recurrence operators
+/// ([`ChunkKernel::recurrence_coeffs`]): the iterated kernels would compute
+/// a plain sum instead of the recurrence, so they pin the cascade path and
+/// ignore an iterated request entirely.
 ///
 /// [`KernelPath`]: crate::plan::KernelPath
 /// [`kernel_path`]: crate::plan::kernel_path
@@ -123,8 +126,9 @@ pub(crate) fn scan_into_path<T: Copy>(
     assert_eq!(input.len(), out.len(), "output length must match input");
     let s = spec.tuple();
     let q = spec.order();
-    let legal = spec.order() > 1 && op.supports_cascade();
-    if path == crate::plan::KernelPath::Cascade && legal {
+    let recurrence = op.recurrence_coeffs().is_some();
+    let legal = op.supports_cascade() && (spec.order() > 1 || recurrence);
+    if legal && (path == crate::plan::KernelPath::Cascade || recurrence) {
         // Single-pass fused cascade: input read once, output written once,
         // independent of order.
         let exclusive = spec.kind() == ScanKind::Exclusive;

@@ -172,6 +172,15 @@ pub struct ScanRequest {
     /// Segment-head flags, one per value. Empty means "one segment": a
     /// plain prefix sum over the whole request.
     pub heads: Vec<bool>,
+    /// Optional linear-recurrence coefficients
+    /// (`x_i = b_i + Σ_j coeffs[j]·x_{i-1-j}`, as in
+    /// [`sam_core::op::LinRec`]). `None` — the overwhelmingly common case
+    /// — is a plain prefix sum. `Some` requests are **not coalescable**:
+    /// a recurrence restart is not expressible as a segmented-sum head
+    /// flag, so this batching service rejects them with the distinct
+    /// [`RequestError::UnsupportedSpec`] (retry against a dedicated
+    /// session, not a malformed-request bug).
+    pub recurrence: Option<Vec<i32>>,
 }
 
 impl ScanRequest {
@@ -183,6 +192,7 @@ impl ScanRequest {
             kind,
             values,
             heads: Vec::new(),
+            recurrence: None,
         }
     }
 
@@ -201,6 +211,16 @@ impl ScanRequest {
         self.heads = heads;
         self
     }
+
+    /// Marks the request as a linear-recurrence scan with the given
+    /// coefficients (see [`ScanRequest::recurrence`]). This batching
+    /// service rejects such requests with
+    /// [`RequestError::UnsupportedSpec`]; the field exists so clients and
+    /// routing shards speak one request type.
+    pub fn with_recurrence(mut self, coeffs: Vec<i32>) -> Self {
+        self.recurrence = Some(coeffs);
+        self
+    }
 }
 
 /// Why a request was rejected or failed. Every variant is a *per-request*
@@ -216,6 +236,15 @@ pub enum RequestError {
         elems: usize,
         /// The configured ceiling ([`ServiceConfig::max_batch_elems`]).
         max: usize,
+    },
+    /// The request is well-formed but asks for a spec this service cannot
+    /// coalesce (e.g. a linear-recurrence scan, whose restarts are not
+    /// expressible as segment heads). Distinct from
+    /// [`RequestError::Malformed`] so clients can route the request to a
+    /// dedicated non-batching endpoint instead of treating it as a bug.
+    UnsupportedSpec {
+        /// Human-readable description of the unsupported feature.
+        feature: &'static str,
     },
     /// The bounded admission queue is full (backpressure signal from
     /// [`ScanService::try_submit`]). Retry later or use the blocking
@@ -234,6 +263,9 @@ impl std::fmt::Display for RequestError {
             RequestError::Malformed(err) => write!(f, "malformed request: {err}"),
             RequestError::TooLarge { elems, max } => {
                 write!(f, "request of {elems} elements exceeds the {max}-element cap")
+            }
+            RequestError::UnsupportedSpec { feature } => {
+                write!(f, "unsupported spec: {feature} cannot be coalesced by this service")
             }
             RequestError::QueueFull => write!(f, "admission queue full"),
             RequestError::ShuttingDown => write!(f, "service shutting down"),

@@ -155,6 +155,14 @@ impl ScanService {
 
     /// Validates a request without touching the queue.
     fn admit(&self, request: &ScanRequest) -> Result<(), RequestError> {
+        if request.recurrence.is_some() {
+            // A recurrence restart multiplies the carried state rather than
+            // zeroing it, so it cannot be expressed as a segment-head flag
+            // — the request is well-formed but not coalescable here.
+            return Err(RequestError::UnsupportedSpec {
+                feature: "linear-recurrence scan",
+            });
+        }
         if !request.heads.is_empty() && request.heads.len() != request.values.len() {
             return Err(RequestError::Malformed(SegmentedError::LengthMismatch {
                 values: request.values.len(),
@@ -524,6 +532,30 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, RequestError::TooLarge { elems: 9, max: 8 });
         // The service still works after rejections.
+        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![7])).unwrap(), vec![7]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn recurrence_requests_are_rejected_as_unsupported_not_malformed() {
+        let service = ScanService::start(ServiceConfig::default());
+        let err = service
+            .scan(ScanRequest::inclusive("iir", vec![1, 2, 3]).with_recurrence(vec![2]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RequestError::UnsupportedSpec {
+                feature: "linear-recurrence scan"
+            }
+        );
+        // The rejection is spec-shaped, not a malformed-request bug, and
+        // fires even when the rest of the request is flawless — including
+        // the degenerate coeffs = [1] that *would* equal a prefix sum.
+        let err = service
+            .scan(ScanRequest::inclusive("iir", vec![5]).with_recurrence(vec![1]))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::UnsupportedSpec { .. }));
+        // The service keeps serving plain requests afterwards.
         assert_eq!(service.scan(ScanRequest::inclusive("t", vec![7])).unwrap(), vec![7]);
         service.shutdown();
     }

@@ -12,6 +12,7 @@
 //!             u16 tenant_len, tenant (utf-8)
 //!             u32 n, n * i32 values
 //!             u8 has_heads, [n * u8 heads if 1]
+//!             u8 has_recurrence, [u16 k, k * i32 coeffs if 1]
 //! response := u8 status (0 ok)
 //!             ok:  u32 n, n * i32 outputs
 //!             err: u16 msg_len, msg (utf-8)
@@ -125,11 +126,24 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 0 => Vec::new(),
                 _ => take(&mut rest, n)?.iter().map(|&b| b != 0).collect(),
             };
+            let recurrence = match take_u8(&mut rest)? {
+                0 => None,
+                _ => {
+                    let k = take_u16(&mut rest)? as usize;
+                    let raw = take(&mut rest, k * 4)?;
+                    Some(
+                        raw.chunks_exact(4)
+                            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                            .collect(),
+                    )
+                }
+            };
             Request::Scan(ScanRequest {
                 tenant,
                 kind,
                 values,
                 heads,
+                recurrence,
             })
         }
         op => return Err(WireError::BadOpcode(op)),
@@ -160,6 +174,17 @@ pub fn encode_scan(request: &ScanRequest) -> Vec<u8> {
     } else {
         out.push(1);
         out.extend(request.heads.iter().map(|&h| u8::from(h)));
+    }
+    match &request.recurrence {
+        None => out.push(0),
+        Some(coeffs) => {
+            out.push(1);
+            let k = coeffs.len().min(u16::MAX as usize);
+            out.extend_from_slice(&(k as u16).to_le_bytes());
+            for c in &coeffs[..k] {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
     }
     out
 }
@@ -296,6 +321,21 @@ mod tests {
         let decoded = decode_request(&encode_scan(&req)).unwrap();
         assert_eq!(decoded, Request::Scan(req));
         assert_eq!(decode_request(&encode_shutdown()).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn recurrence_requests_roundtrip() {
+        // The wire speaks recurrence specs even though the batching
+        // service rejects them at admission — routing shards decode the
+        // request before deciding where it runs.
+        let req = ScanRequest::inclusive("iir", vec![4, 5, 6]).with_recurrence(vec![2, -1]);
+        let decoded = decode_request(&encode_scan(&req)).unwrap();
+        assert_eq!(decoded, Request::Scan(req));
+        // Empty coefficient vectors survive too (rejection is the
+        // service's call, not the codec's).
+        let req = ScanRequest::inclusive("iir", vec![1]).with_recurrence(Vec::new());
+        let decoded = decode_request(&encode_scan(&req)).unwrap();
+        assert_eq!(decoded, Request::Scan(req));
     }
 
     #[test]

@@ -199,7 +199,7 @@ fn chaos_traffic_never_corrupts_other_tenants() {
             scope.spawn(move || {
                 for r in 0..30 {
                     let tenant = if (t + r) % 4 == 0 { "evil" } else { "good" };
-                    let values: Vec<i32> = (0..20).map(|i| i * (t as i32 + 1) - r).collect();
+                    let values: Vec<i32> = (0..20).map(|i| i * (t + 1) - r).collect();
                     let request = ScanRequest::inclusive(tenant, values);
                     let expect = oracle(&request);
                     match service.scan(request) {
@@ -241,7 +241,7 @@ fn bounded_queue_sheds_load_instead_of_growing() {
                     let mut admitted = Vec::new();
                     for r in 0..50 {
                         let request =
-                            ScanRequest::inclusive(format!("t{t}"), vec![t as i32, r]);
+                            ScanRequest::inclusive(format!("t{t}"), vec![t, r]);
                         let expect = oracle(&request);
                         match service.try_submit(request) {
                             Ok(handle) => admitted.push((handle, expect)),

@@ -11,7 +11,7 @@
 use gpu_sim::{DeviceSpec, Gpu};
 use sam_core::cpu::CpuScanner;
 use sam_core::kernel::{scan_on_gpu, SamParams};
-use sam_core::op::Sum;
+use sam_core::op::{LinRec, Sum};
 use sam_core::{serial, ScanElement, ScanKind, ScanSpec};
 
 /// The definitional oracle: `q` strided passes, each the scalar textbook
@@ -59,6 +59,71 @@ fn check_engines<T: ScanElement>(input: &[T], spec: &ScanSpec, label: &str) {
     assert_eq!(got_gpu, expect, "gpu-sim {label}");
 }
 
+/// The recurrence oracle: the obvious per-lane serial loop for
+/// `x_i = b_i + Σ_j coeffs[j]·x_{i-1-j}` — no companion matrices, no
+/// carry plan, just a rotating history per tuple lane. The exclusive
+/// kind emits the prediction (the recurrence's contribution without the
+/// fresh input), mirroring exclusive-sum semantics.
+fn recurrence_oracle<T: ScanElement>(
+    input: &[T],
+    coeffs: &[T],
+    s: usize,
+    exclusive: bool,
+) -> Vec<T> {
+    let k = coeffs.len();
+    let mut hist = vec![T::ZERO; k * s];
+    input
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let lane = i % s;
+            let mut pred = T::ZERO;
+            for (j, &c) in coeffs.iter().enumerate() {
+                pred = pred.add(hist[j * s + lane].mul(c));
+            }
+            let y = x.add(pred);
+            for j in (1..k).rev() {
+                hist[j * s + lane] = hist[(j - 1) * s + lane];
+            }
+            hist[lane] = y;
+            if exclusive {
+                pred
+            } else {
+                y
+            }
+        })
+        .collect()
+}
+
+fn check_recurrence_engines<T: ScanElement>(
+    input: &[T],
+    coeffs: &[T],
+    spec: &ScanSpec,
+    label: &str,
+) {
+    let op = LinRec::new(coeffs.to_vec()).expect("exact-ring coefficients");
+    let expect = recurrence_oracle(
+        input,
+        coeffs,
+        spec.tuple(),
+        spec.kind() == ScanKind::Exclusive,
+    );
+
+    let got_serial = serial::scan(input, &op, spec);
+    assert_eq!(got_serial, expect, "serial {label}");
+
+    let cpu = CpuScanner::new(4).with_chunk_elems(771);
+    assert_eq!(cpu.scan(input, &op, spec), expect, "cpu {label}");
+
+    let gpu = Gpu::new(DeviceSpec::k40());
+    let params = SamParams {
+        items_per_thread: 1,
+        ..SamParams::default()
+    };
+    let (got_gpu, _) = scan_on_gpu(&gpu, input, &op, spec, &params);
+    assert_eq!(got_gpu, expect, "gpu-sim {label}");
+}
+
 fn pseudo_random_u64(n: usize, seed: u64) -> impl Iterator<Item = u64> {
     let mut state = seed | 1;
     (0..n).map(move |_| {
@@ -79,6 +144,65 @@ fn grid_matches_iterated_oracle_i64() {
             for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
                 let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
                 check_engines(&input, &spec, &format!("q={order} s={tuple} {kind:?}"));
+            }
+        }
+    }
+}
+
+/// The recurrence grid: orders {1,2,5,8} (order = coefficient count, the
+/// spec's `order()` doubling as the recurrence depth) × tuples {1,2,5,8}
+/// × both kinds, against the per-lane serial loop on every engine. The
+/// coefficient vectors include zeros, negatives, and a pure-delay tap so
+/// the companion-matrix powers are genuinely non-diagonal.
+#[test]
+fn recurrence_grid_matches_serial_loop_i64() {
+    let input: Vec<i64> = pseudo_random_u64(6_007, 0xabcd)
+        .map(|v| ((v >> 40) as i64) - (1 << 23))
+        .collect();
+    let grid: [(u32, Vec<i64>); 4] = [
+        (1, vec![3]),
+        (2, vec![1, 1]),
+        (5, vec![2, -1, 0, 3, -2]),
+        (8, vec![1, 0, -1, 2, 0, 0, 1, -3]),
+    ];
+    for (order, coeffs) in &grid {
+        for tuple in [1usize, 2, 5, 8] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let spec = ScanSpec::new(kind, *order, tuple).expect("valid spec");
+                check_recurrence_engines(
+                    &input,
+                    coeffs,
+                    &spec,
+                    &format!("rec k={order} s={tuple} {kind:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Recurrence outputs grow geometrically, so almost every element of this
+/// test wraps many times over — every engine must wrap identically to the
+/// serial loop (bit-identity is unconditional; integer meaning holds only
+/// inside the exactness envelope, see DESIGN.md §15).
+#[test]
+fn recurrence_wrapping_matches_serial_loop_u32() {
+    let input: Vec<u32> = pseudo_random_u64(4_003, 0x5eed)
+        .map(|v| (v as u32) | 0x8000_0000)
+        .collect();
+    let grid: [(u32, Vec<u32>); 2] = [
+        (2, vec![0xdead_beef, 7]),
+        (5, vec![3, 0, 0x0100_0001, 0, 11]),
+    ];
+    for (order, coeffs) in &grid {
+        for tuple in [1usize, 3] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let spec = ScanSpec::new(kind, *order, tuple).expect("valid spec");
+                check_recurrence_engines(
+                    &input,
+                    coeffs,
+                    &spec,
+                    &format!("rec u32 k={order} s={tuple} {kind:?}"),
+                );
             }
         }
     }
@@ -134,6 +258,30 @@ fn cpu_cascade_is_worker_count_invariant() {
 /// order-q sum scan on the simulated GPU does not depend on q. Flag polls
 /// are scheduling-dependent and tracked in a separate counter, so this
 /// comparison is deterministic.
+/// The recurrence kernel path keeps the communication-optimal element
+/// traffic of the decoupled single-pass scheme: every element is read
+/// exactly once and written exactly once (elem words == 2n total), even
+/// though the operator is a depth-k linear recurrence — the extra work is
+/// all in registers and the q×s carry windows, never in element traffic.
+#[test]
+fn gpu_recurrence_path_keeps_one_read_one_write() {
+    let n = 50_000usize;
+    let input: Vec<i64> = (0..n as i64).map(|i| i % 19 - 9).collect();
+    let coeffs = vec![2i64, -1];
+    let op = LinRec::new(coeffs.clone()).expect("exact-ring coefficients");
+    let spec = ScanSpec::new(ScanKind::Inclusive, 2, 3).expect("valid spec");
+    let params = SamParams {
+        items_per_thread: 1,
+        ..SamParams::default()
+    };
+    let gpu = Gpu::new(DeviceSpec::k40());
+    let (out, _) = scan_on_gpu(&gpu, &input, &op, &spec, &params);
+    assert_eq!(out, recurrence_oracle(&input, &coeffs, 3, false));
+    let snap = gpu.metrics().snapshot();
+    assert_eq!(snap.elem_read_words, n as u64, "each element read once");
+    assert_eq!(snap.elem_write_words, n as u64, "each element written once");
+}
+
 #[test]
 fn gpu_transactions_are_order_independent() {
     let n = 100_000usize;

@@ -12,7 +12,7 @@ use gpu_sim::DeviceSpec;
 use proptest::prelude::*;
 use sam_core::cpu::CpuScanner;
 use sam_core::kernel::SamParams;
-use sam_core::op::{Max, Sum};
+use sam_core::op::{LinRec, Max, Sum};
 use sam_core::plan::{CarryState, PlanHint, ScanPlan, ScanSession};
 use sam_core::scanner::Engine;
 use sam_core::{ScanKind, ScanSpec};
@@ -40,6 +40,16 @@ fn engine(index: usize, workers: usize, chunk: usize) -> Engine {
 
 fn order_strategy() -> impl Strategy<Value = u32> {
     prop_oneof![Just(1u32), Just(2), Just(5), Just(8)]
+}
+
+/// Deterministic small coefficient vector for a given recurrence order —
+/// one signed byte of the seed per tap, so zeros, negatives, and repeated
+/// values all occur (the vendored proptest has no `prop_flat_map`, so the
+/// length-dependent vector is derived rather than generated).
+fn coeffs_from_seed(order: u32, seed: u64) -> Vec<i64> {
+    (0..order as u64)
+        .map(|j| i64::from((seed >> ((j % 8) * 8)) as i8 % 4))
+        .collect()
 }
 
 fn tuple_strategy() -> impl Strategy<Value = usize> {
@@ -95,6 +105,123 @@ proptest! {
         let mut session = plan.session::<i64, _>(Sum);
         let streamed = feed_in_batches(&mut session, &input, &cuts);
         prop_assert_eq!(streamed, one_shot);
+    }
+
+    /// Recurrence operators stream exactly like sums: any partition of the
+    /// input through `feed`, on any engine, equals the one-shot scan of
+    /// the concatenation — the order-k output window crosses every batch
+    /// boundary through the same carry state the one-shot kernel uses
+    /// between chunks, so this holds by construction, and wrapping i64
+    /// keeps it exact for arbitrary inputs.
+    #[test]
+    fn recurrence_feed_over_any_partition_matches_one_shot(
+        input in prop::collection::vec(any::<i64>(), 0..1200),
+        cuts in prop::collection::vec(1usize..97, 1..10),
+        order in order_strategy(),
+        tuple in tuple_strategy(),
+        exclusive in any::<bool>(),
+        coeff_seed in any::<u64>(),
+        engine_idx in 0usize..5,
+        chunk in 16usize..200,
+    ) {
+        let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+        let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+        let op = LinRec::new(coeffs_from_seed(order, coeff_seed)).expect("exact ring");
+        // The 8-strategy macro limit is spent; derive the worker count.
+        let workers = 2 + chunk % 3;
+        let plan = ScanPlan::new(
+            spec,
+            engine(engine_idx, workers, chunk),
+            PlanHint::expected_len(input.len()),
+        );
+        let one_shot = plan.scan(&input, &op);
+        let mut session = plan.session::<i64, _>(op.clone());
+        let streamed = feed_in_batches(&mut session, &input, &cuts);
+        prop_assert_eq!(streamed, one_shot);
+    }
+
+    /// Recurrence checkpoints round-trip through bytes into a fresh
+    /// session at an arbitrary split, on every engine — the v2 frame
+    /// carries the operator family and coefficient fingerprint, and a
+    /// matching session accepts it and reproduces the one-shot tail.
+    #[test]
+    fn recurrence_checkpoint_roundtrips_through_bytes(
+        input in prop::collection::vec(any::<i64>(), 1..1000),
+        split_seed in 0usize..4096,
+        order in order_strategy(),
+        tuple in tuple_strategy(),
+        exclusive in any::<bool>(),
+        coeff_seed in any::<u64>(),
+        engine_idx in 0usize..5,
+        chunk in 16usize..200,
+    ) {
+        let kind = if exclusive { ScanKind::Exclusive } else { ScanKind::Inclusive };
+        let spec = ScanSpec::new(kind, order, tuple).expect("valid spec");
+        let op = LinRec::new(coeffs_from_seed(order, coeff_seed)).expect("exact ring");
+        let workers = 2 + chunk % 3;
+        let plan = ScanPlan::new(
+            spec,
+            engine(engine_idx, workers, chunk),
+            PlanHint::expected_len(input.len()),
+        );
+        let one_shot = plan.scan(&input, &op);
+        let split = split_seed % (input.len() + 1);
+
+        let mut head_session = plan.session::<i64, _>(op.clone());
+        let mut streamed = head_session.feed(&input[..split]).to_vec();
+        let checkpoint = head_session.carry_state();
+        drop(head_session);
+
+        let restored = CarryState::from_bytes(&checkpoint.to_bytes()).expect("well-formed bytes");
+        prop_assert_eq!(&restored, &checkpoint);
+        let mut tail_session = plan.session::<i64, _>(op);
+        tail_session.resume(&restored).expect("matching spec and operator");
+        prop_assert_eq!(tail_session.elements_seen(), split as u64);
+        streamed.extend_from_slice(tail_session.feed(&input[split..]));
+        prop_assert_eq!(streamed, one_shot);
+    }
+
+    /// Cross-family confusion is an error, never a misinterpretation: a
+    /// sum checkpoint decodes fine but cannot resume a recurrence session,
+    /// a recurrence checkpoint cannot resume a sum session, and a
+    /// recurrence checkpoint from *different coefficients* is rejected by
+    /// the fingerprint even though family, spec, and state length all
+    /// match — the state words would be silently reinterpreted otherwise.
+    #[test]
+    fn cross_family_checkpoints_never_resume(
+        input in prop::collection::vec(any::<i64>(), 1..600),
+        order in order_strategy(),
+        tuple in tuple_strategy(),
+        coeff_seed in any::<u64>(),
+    ) {
+        let spec = ScanSpec::new(ScanKind::Inclusive, order, tuple).expect("valid spec");
+        let plan = ScanPlan::new(spec, Engine::Serial, PlanHint::default());
+        let coeffs = coeffs_from_seed(order, coeff_seed);
+        let op = LinRec::new(coeffs.clone()).expect("exact ring");
+
+        let mut sum_session = plan.session::<i64, _>(Sum);
+        sum_session.feed(&input);
+        let sum_state = CarryState::from_bytes(&sum_session.carry_state().to_bytes())
+            .expect("well-formed sum frame");
+
+        let mut rec_session = plan.session::<i64, _>(op.clone());
+        rec_session.feed(&input);
+        let rec_state = CarryState::from_bytes(&rec_session.carry_state().to_bytes())
+            .expect("well-formed recurrence frame");
+
+        let mut fresh_rec = plan.session::<i64, _>(op);
+        prop_assert!(fresh_rec.resume(&sum_state).is_err(), "sum bytes into recurrence session");
+        let mut fresh_sum = plan.session::<i64, _>(Sum);
+        prop_assert!(fresh_sum.resume(&rec_state).is_err(), "recurrence bytes into sum session");
+
+        let mut other_coeffs = coeffs;
+        other_coeffs[0] = other_coeffs[0].wrapping_add(1);
+        let other = LinRec::new(other_coeffs).expect("exact ring");
+        let mut fresh_other = plan.session::<i64, _>(other);
+        prop_assert!(
+            fresh_other.resume(&rec_state).is_err(),
+            "different coefficients must fail the fingerprint"
+        );
     }
 
     /// f64 sums are pseudo-associative, so this is the determinism claim
