@@ -19,6 +19,10 @@
 //!   --batch-requests B coalescing cap for the batched run (default 256)
 //!   --batch-elems N    fused-launch element cap (default 1<<20)
 //!   --engine ENG       serial|auto|cpu:N for the backing scans (default auto)
+//!   --mixed-spec       mix operator families: plain and segmented sums
+//!                      interleaved with linear-recurrence requests
+//!                      (EMA/IIR-shaped), exercising the service's
+//!                      per-family lanes instead of just the Sum lane
 //!   --trace            run the service traced (per-tenant ScanReport
 //!                      metrics — the SLO-accounting serving shape;
 //!                      default on, disable with --no-trace)
@@ -28,6 +32,16 @@
 //!   --no-json          print the summary but do not touch the JSON file
 //!   --assert-batching-speedup X
 //!                      exit nonzero unless batched/serial >= X (CI gate)
+//!   --remote tcp:ADDR | unix:PATH
+//!                      drive a running sam_serviced over its wire
+//!                      protocol instead of an in-process service: one
+//!                      pipelined connection per client, --pipeline
+//!                      requests in flight each. Remote mode runs a single
+//!                      leg (no serial-baseline comparison — the remote
+//!                      server's batching is not ours to reconfigure) and
+//!                      never touches the JSON file.
+//!   --pipeline D       in-flight requests per remote connection (default 32)
+//!   --shutdown-remote  send the shutdown opcode after the run (CI teardown)
 //! ```
 //!
 //! All requests are generated before the clock starts; each leg gets one
@@ -53,17 +67,21 @@
 //! JSON parser by design): any existing `service_loadgen` section — which
 //! this tool always writes last — is truncated and replaced.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::io::{Read, Write};
 use std::time::{Duration, Instant};
 
 use sam_core::{Engine, ScanKind};
+use sam_service::wire::Client;
 use sam_service::{ScanRequest, ScanService, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--requests N] [--elems N] [--mode open|closed] [--clients C] \
          [--executors E] [--batch-requests B] [--batch-elems N] [--engine serial|auto|cpu:N] \
-         [--out PATH] [--no-json] [--assert-batching-speedup X]"
+         [--mixed-spec] [--out PATH] [--no-json] [--assert-batching-speedup X] \
+         [--remote tcp:ADDR|unix:PATH] [--pipeline D] [--shutdown-remote]"
     );
     std::process::exit(2);
 }
@@ -78,11 +96,15 @@ struct Opts {
     batch_requests: usize,
     batch_elems: usize,
     engine: String,
+    mixed_spec: bool,
     trace: bool,
     reps: usize,
     out: String,
     write_json: bool,
     assert_speedup: Option<f64>,
+    remote: Option<String>,
+    pipeline: usize,
+    shutdown_remote: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -124,11 +146,15 @@ fn parse_opts() -> Opts {
         batch_requests: 256,
         batch_elems: 1 << 20,
         engine: "auto".into(),
+        mixed_spec: false,
         trace: true,
         reps: 3,
         out: "BENCH_cpu.json".into(),
         write_json: true,
         assert_speedup: None,
+        remote: None,
+        pipeline: 32,
+        shutdown_remote: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -150,6 +176,7 @@ fn parse_opts() -> Opts {
             }
             "--batch-elems" => opts.batch_elems = value().parse().unwrap_or_else(|_| usage()),
             "--engine" => opts.engine = value(),
+            "--mixed-spec" => opts.mixed_spec = true,
             "--trace" => opts.trace = true,
             "--no-trace" => opts.trace = false,
             "--reps" => opts.reps = value().parse().unwrap_or_else(|_| usage()),
@@ -158,19 +185,32 @@ fn parse_opts() -> Opts {
             "--assert-batching-speedup" => {
                 opts.assert_speedup = Some(value().parse().unwrap_or_else(|_| usage()));
             }
+            "--remote" => opts.remote = Some(value()),
+            "--pipeline" => opts.pipeline = value().parse().unwrap_or_else(|_| usage()),
+            "--shutdown-remote" => opts.shutdown_remote = true,
             _ => usage(),
         }
     }
-    if opts.requests == 0 || opts.elems == 0 || opts.clients == 0 || opts.reps == 0 {
+    if opts.requests == 0 || opts.elems == 0 || opts.clients == 0 || opts.reps == 0
+        || opts.pipeline == 0
+    {
         usage()
     }
     opts
 }
 
-/// Deterministic micro-scan request `i`: LCG-generated values with sparse
-/// segment heads, alternating inclusive/exclusive to exercise the
-/// service's per-request output derivation inside fused launches.
-fn request_for(i: usize, elems: usize) -> ScanRequest {
+/// The recurrence families `--mixed-spec` interleaves between sum
+/// requests: a doubling ledger, a second-order momentum filter, and a
+/// Fibonacci-style accumulator — each routes to its own service lane.
+const MIXED_COEFFS: [&[i32]; 3] = [&[2], &[2, -1], &[1, 1]];
+
+/// Deterministic micro-scan request `i`: LCG-generated values,
+/// alternating inclusive/exclusive to exercise the service's per-request
+/// output derivation inside fused launches. Plain runs add sparse segment
+/// heads; `--mixed-spec` runs cycle operator families instead (plain sum,
+/// segmented sum, and the [`MIXED_COEFFS`] recurrences), so every service
+/// lane sees traffic.
+fn request_for(i: usize, elems: usize, mixed: bool) -> ScanRequest {
     let mut state = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1;
     let mut values = Vec::with_capacity(elems);
     let mut heads = Vec::with_capacity(elems);
@@ -186,15 +226,46 @@ fn request_for(i: usize, elems: usize) -> ScanRequest {
     } else {
         ScanKind::Exclusive
     };
-    ScanRequest::new(format!("tenant-{}", i % 8), kind, values).with_heads(heads)
+    let request = ScanRequest::new(format!("tenant-{}", i % 8), kind, values);
+    if !mixed {
+        return request.with_heads(heads);
+    }
+    match i % 5 {
+        0 => request,                   // plain sum, single segment
+        1 => request.with_heads(heads), // segmented sum
+        f => request.with_recurrence(MIXED_COEFFS[f - 2].to_vec()),
+    }
 }
 
-/// Reference output for spot-checking responses.
+/// Reference output for spot-checking responses: the serial segmented sum
+/// or, for recurrence requests, the serial recurrence loop
+/// (`y_i = b_i + Σ_j c_j·y_{i-1-j}`; exclusive outputs are the
+/// prediction `y_i - b_i`).
 fn oracle(request: &ScanRequest) -> Vec<i32> {
+    if let Some(coeffs) = &request.recurrence {
+        let mut hist = vec![0i32; coeffs.len()];
+        return request
+            .values
+            .iter()
+            .map(|&b| {
+                let pred = coeffs
+                    .iter()
+                    .zip(&hist)
+                    .fold(0i32, |a, (&c, &h)| a.wrapping_add(c.wrapping_mul(h)));
+                let y = b.wrapping_add(pred);
+                hist.rotate_right(1);
+                hist[0] = y;
+                match request.kind {
+                    ScanKind::Inclusive => y,
+                    ScanKind::Exclusive => pred,
+                }
+            })
+            .collect();
+    }
     let mut out = Vec::with_capacity(request.values.len());
     let mut run = 0i32;
     for (i, &v) in request.values.iter().enumerate() {
-        if i == 0 || request.heads[i] {
+        if i == 0 || request.heads.get(i).copied().unwrap_or(false) {
             run = 0;
         }
         match request.kind {
@@ -217,6 +288,9 @@ struct RunResult {
     batches: u64,
     max_batch_requests: u64,
     coalescing_factor: f64,
+    /// Per-lane (label, requests, batches, coalescing factor), sorted by
+    /// label — empty for remote runs (the server keeps its own metrics).
+    lanes: Vec<(String, u64, u64, f64)>,
 }
 
 impl RunResult {
@@ -315,15 +389,169 @@ fn run_once(opts: &Opts, batch_requests: usize, requests: Vec<ScanRequest>) -> R
     let metrics = service.metrics();
     service.shutdown();
     for (i, out) in checks {
-        assert_eq!(out, oracle(&request_for(i, opts.elems)), "request {i}");
+        assert_eq!(
+            out,
+            oracle(&request_for(i, opts.elems, opts.mixed_spec)),
+            "request {i}"
+        );
     }
     latencies_us.sort_unstable();
+    let mut lanes: Vec<(String, u64, u64, f64)> = metrics
+        .lanes
+        .iter()
+        .map(|(label, lane)| {
+            (label.clone(), lane.requests, lane.batches, lane.coalescing_factor())
+        })
+        .collect();
+    lanes.sort_by(|a, b| a.0.cmp(&b.0));
     RunResult {
         wall,
         latencies_us,
         batches: metrics.batches,
         max_batch_requests: metrics.max_batch_requests,
         coalescing_factor: metrics.coalescing_factor(),
+        lanes,
+    }
+}
+
+/// Where `--remote` points: a running `sam_serviced` transport endpoint.
+enum RemoteTarget {
+    Tcp(String),
+    Unix(String),
+}
+
+fn parse_remote(arg: &str) -> RemoteTarget {
+    if let Some(addr) = arg.strip_prefix("tcp:") {
+        RemoteTarget::Tcp(addr.to_owned())
+    } else if let Some(path) = arg.strip_prefix("unix:") {
+        RemoteTarget::Unix(path.to_owned())
+    } else {
+        eprintln!("loadgen: --remote wants tcp:ADDR or unix:PATH, got {arg:?}");
+        usage()
+    }
+}
+
+/// One remote connection's closed pipelined loop: keep up to `pipeline`
+/// requests in flight, receive strictly in send order (the framing is
+/// FIFO per connection), and record send-to-receive latency per request.
+fn remote_worker<S: Read + Write>(
+    client: &mut Client<S>,
+    chunk: Vec<(usize, ScanRequest)>,
+    pipeline: usize,
+) -> (Vec<u64>, Vec<(usize, Vec<i32>)>) {
+    let mut latencies = Vec::with_capacity(chunk.len());
+    let mut checks = Vec::new();
+    let mut in_flight: VecDeque<(usize, Instant)> = VecDeque::with_capacity(pipeline);
+    let drain = |client: &mut Client<S>,
+                     in_flight: &mut VecDeque<(usize, Instant)>,
+                     latencies: &mut Vec<u64>,
+                     checks: &mut Vec<(usize, Vec<i32>)>| {
+        let (i, sent) = in_flight.pop_front().expect("drain matches sends");
+        let out = client
+            .recv()
+            .expect("remote io")
+            .unwrap_or_else(|msg| panic!("request {i} rejected by server: {msg}"));
+        latencies.push(sent.elapsed().as_micros() as u64);
+        if i % 97 == 0 {
+            checks.push((i, out.values));
+        }
+    };
+    for (i, request) in chunk {
+        if in_flight.len() == pipeline {
+            drain(client, &mut in_flight, &mut latencies, &mut checks);
+        }
+        client.send_scan(&request).expect("remote io");
+        in_flight.push_back((i, Instant::now()));
+    }
+    while !in_flight.is_empty() {
+        drain(client, &mut in_flight, &mut latencies, &mut checks);
+    }
+    (latencies, checks)
+}
+
+/// Drives a running `sam_serviced` with `--clients` pipelined
+/// connections. One timed leg — the remote server's coalescing
+/// configuration is whatever it was started with, so there is no
+/// serial-baseline comparison (and no JSON merge); correctness is still
+/// spot-checked against the serial oracles, recurrences included.
+fn run_remote(opts: &Opts, target: &RemoteTarget) {
+    let requests: Vec<ScanRequest> = (0..opts.requests)
+        .map(|i| request_for(i, opts.elems, opts.mixed_spec))
+        .collect();
+    let mut per_client: Vec<Vec<(usize, ScanRequest)>> =
+        (0..opts.clients).map(|_| Vec::new()).collect();
+    for (i, request) in requests.into_iter().enumerate() {
+        per_client[i % opts.clients].push((i, request));
+    }
+    let start = Instant::now();
+    type ClientOut = (Vec<u64>, Vec<(usize, Vec<i32>)>);
+    let collected: Vec<ClientOut> = std::thread::scope(|scope| {
+        let target = &target;
+        let handles: Vec<_> = per_client
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || match target {
+                    RemoteTarget::Tcp(addr) => {
+                        let mut client = Client::connect_tcp(addr.as_str())
+                            .unwrap_or_else(|e| panic!("cannot connect to tcp {addr}: {e}"));
+                        remote_worker(&mut client, chunk, opts.pipeline)
+                    }
+                    RemoteTarget::Unix(path) => {
+                        let mut client = Client::connect(path)
+                            .unwrap_or_else(|e| panic!("cannot connect to unix {path}: {e}"));
+                        remote_worker(&mut client, chunk, opts.pipeline)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let wall = start.elapsed();
+    let mut latencies_us = Vec::with_capacity(opts.requests);
+    let mut checked = 0usize;
+    for (lat, checks) in collected {
+        latencies_us.extend(lat);
+        for (i, out) in checks {
+            assert_eq!(
+                out,
+                oracle(&request_for(i, opts.elems, opts.mixed_spec)),
+                "request {i}"
+            );
+            checked += 1;
+        }
+    }
+    latencies_us.sort_unstable();
+    let result = RunResult {
+        wall,
+        latencies_us,
+        batches: 0,
+        max_batch_requests: 0,
+        coalescing_factor: 0.0,
+        lanes: Vec::new(),
+    };
+    println!(
+        "loadgen: remote run complete: {:.0} reqs/s ({:.0} elems/s), \
+         p50 {} us, p90 {} us, p99 {} us, {} responses oracle-checked",
+        result.reqs_per_sec(opts.requests),
+        result.elems_per_sec(opts.requests, opts.elems),
+        result.percentile(0.50),
+        result.percentile(0.90),
+        result.percentile(0.99),
+        checked,
+    );
+    if opts.shutdown_remote {
+        let ack = match target {
+            RemoteTarget::Tcp(addr) => Client::connect_tcp(addr.as_str())
+                .and_then(|mut c| c.shutdown_server()),
+            RemoteTarget::Unix(path) => {
+                Client::connect(path).and_then(|mut c| c.shutdown_server())
+            }
+        };
+        match ack {
+            Ok(Ok(_)) => eprintln!("loadgen: remote server acknowledged shutdown"),
+            Ok(Err(msg)) => eprintln!("loadgen: remote server refused shutdown: {msg}"),
+            Err(e) => eprintln!("loadgen: shutdown request failed: {e}"),
+        }
     }
 }
 
@@ -400,7 +628,7 @@ fn merge_into_json(path: &str, section: &str) -> std::io::Result<()> {
 fn main() {
     let opts = parse_opts();
     eprintln!(
-        "loadgen: {} requests x {} elems, {} loop, {} clients, {} executors, engine {}, {}",
+        "loadgen: {} requests x {} elems, {} loop, {} clients, {} executors, engine {}, {}{}",
         opts.requests,
         opts.elems,
         opts.mode.name(),
@@ -408,9 +636,15 @@ fn main() {
         opts.executors,
         opts.engine,
         if opts.trace { "traced" } else { "untraced" },
+        if opts.mixed_spec { ", mixed-spec" } else { "" },
     );
+    if let Some(remote) = &opts.remote {
+        let target = parse_remote(remote);
+        run_remote(&opts, &target);
+        return;
+    }
     let requests: Vec<ScanRequest> = (0..opts.requests)
-        .map(|i| request_for(i, opts.elems))
+        .map(|i| request_for(i, opts.elems, opts.mixed_spec))
         .collect();
 
     eprintln!("loadgen: serial baseline (max_batch_requests = 1)...");
@@ -438,6 +672,12 @@ fn main() {
         batched.coalescing_factor,
         batched.max_batch_requests
     );
+    for (label, requests, batches, factor) in &batched.lanes {
+        eprintln!(
+            "    lane {label}: {requests} requests in {batches} launches \
+             (coalescing factor {factor:.1})"
+        );
+    }
 
     let speedup = batched.reqs_per_sec(opts.requests) / serial.reqs_per_sec(opts.requests);
     println!(
@@ -453,7 +693,8 @@ fn main() {
         let _ = write!(
             section,
             "{{\n    \"requests\": {}, \"elems_per_request\": {}, \"mode\": \"{}\", \
-             \"clients\": {}, \"executors\": {}, \"engine\": \"{}\", \"trace\": {},\n    \
+             \"clients\": {}, \"executors\": {}, \"engine\": \"{}\", \"trace\": {}, \
+             \"mixed_spec\": {},\n    \
              \"serial\": {},\n    \"batched\": {},\n    \
              \"batched_vs_serial_speedup\": {:.3}\n  }}",
             opts.requests,
@@ -463,6 +704,7 @@ fn main() {
             opts.executors,
             opts.engine,
             opts.trace,
+            opts.mixed_spec,
             leg_json(&opts, 1, &serial),
             leg_json(&opts, opts.batch_requests, &batched),
             speedup,

@@ -730,6 +730,69 @@ impl ScanPlan {
     }
 }
 
+/// A concurrent cache of resolved [`ScanPlan`]s keyed by
+/// `(spec, host fingerprint)` — the sharing layer a multi-lane front-end
+/// (one lane per spec) builds its per-shard sessions on.
+///
+/// Plans are resolved at most once per key and cloned out; clones share
+/// the plan's engine resources (worker pool, arena, device), so every
+/// shard and executor thread reuses one pool per spec instead of
+/// spinning up its own. The host fingerprint ([`crate::adapt::host_fingerprint`])
+/// is part of the key so persisted cache dumps never leak a tuning
+/// resolved for different hardware.
+///
+/// # Examples
+///
+/// ```
+/// use sam_core::plan::{PlanCache, PlanHint};
+/// use sam_core::{Engine, ScanSpec};
+///
+/// let cache = PlanCache::new();
+/// let a = cache.get_or_insert_with(ScanSpec::inclusive(), || {
+///     sam_core::plan::ScanPlan::new(ScanSpec::inclusive(), Engine::Serial, PlanHint::default())
+/// });
+/// let b = cache.get_or_insert_with(ScanSpec::inclusive(), || unreachable!("cached"));
+/// assert_eq!(a.spec(), b.spec());
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: std::sync::Mutex<std::collections::HashMap<(ScanSpec, String), ScanPlan>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for `spec` on this host, resolving it with
+    /// `make` on the first request. The builder runs under the cache lock,
+    /// so concurrent callers never resolve the same key twice.
+    pub fn get_or_insert_with(&self, spec: ScanSpec, make: impl FnOnce() -> ScanPlan) -> ScanPlan {
+        let key = (spec, crate::adapt::host_fingerprint());
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Distinct `(spec, host)` keys currently resolved.
+    pub fn len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no plan has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// How a session folds a stream — resolved once at session creation to
 /// mirror the executing engine bit-for-bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -15,16 +15,39 @@
 //!
 //! The moving parts:
 //!
-//! - **Admission control** — a bounded queue ([`ServiceConfig::queue_capacity`]);
-//!   [`ScanService::try_submit`] sheds load with [`RequestError::QueueFull`]
-//!   when it is full, [`ScanService::submit`] blocks (backpressure).
-//! - **Coalescing** — executors drain the queue greedily up to
+//! - **Spec-sharded lanes** — a routing front-end keys every request to a
+//!   *lane* by its operator family: plain prefix sums ride the segmented
+//!   Sum lane, and each distinct linear-recurrence coefficient vector
+//!   ([`ScanRequest::with_recurrence`]) lazily spins up its own lane with
+//!   its own queue, executors, and cached [`sam_core::op::LinRec`]
+//!   sessions. Recurrence requests therefore *execute* (bit-identical to
+//!   the serial recurrence loop) instead of being rejected at admission.
+//! - **Admission control** — a bounded queue per lane
+//!   ([`ServiceConfig::queue_capacity`]); [`ScanService::try_submit`]
+//!   sheds load with [`RequestError::QueueFull`] when the lane is full,
+//!   [`ScanService::submit`] blocks (backpressure). The lane population
+//!   itself is bounded ([`ServiceConfig::max_lanes`],
+//!   [`RequestError::LanesExhausted`]) so hostile coefficient churn
+//!   cannot spawn unbounded executors.
+//! - **Coalescing** — executors drain their lane's queue greedily up to
 //!   [`ServiceConfig::max_batch_requests`] / [`ServiceConfig::max_batch_elems`]
 //!   per launch. There is no artificial delay window: an idle service
 //!   dispatches a lone request immediately, and batches form exactly when
-//!   a backlog exists — the queue *is* the coalescing window.
+//!   a backlog exists — the queue *is* the coalescing window. Sum-lane
+//!   batches fuse into one segmented launch; recurrence-lane batches
+//!   amortize one cached session and plan across the drained requests
+//!   (a recurrence restart is not expressible as a segment head, so
+//!   members run back-to-back on the shared session instead of fusing).
+//! - **Streaming requests** — [`ScanRequest::streaming`] asks for a
+//!   [`sam_core::plan::CarryState`] checkpoint alongside the outputs;
+//!   the next frame carries it back ([`ScanRequest::with_checkpoint`])
+//!   and continues the scan exactly where it left off, on any executor.
+//!   Checkpoints are validated against the spec *and* the operator
+//!   family/coefficient fingerprint (the v2 `SAMC` format), so a sum
+//!   checkpoint can never silently resume a recurrence stream.
 //! - **Plan cache** — execution plans are resolved once per
-//!   `(ScanSpec, host fingerprint)` key and shared by every executor
+//!   `(ScanSpec, host fingerprint)` key ([`sam_core::plan::PlanCache`])
+//!   and shared by every lane and executor
 //!   ([`ScanService::plans_cached`]); sessions over them are cached
 //!   per-executor and reach a zero-allocation steady state through
 //!   [`sam_core::segmented::try_feed_segmented_into`].
@@ -34,8 +57,9 @@
 //!   ([`RequestError::Panicked`]): the executor catches the unwind
 //!   (riding the engine's cooperative cancel machinery), discards the
 //!   possibly-wedged session, and keeps serving.
-//! - **Per-tenant metrics** — request/element/error counts, queue and
-//!   execution latency sums, and, on traced services,
+//! - **Per-tenant and per-lane metrics** — request/element/error counts,
+//!   queue and execution latency sums, per-lane batch/coalescing
+//!   accounting ([`ServiceMetrics::lanes`]), and, on traced services,
 //!   [`sam_core::ScanReport`]-derived throughput for SLO accounting
 //!   ([`ScanService::metrics`]).
 //!
@@ -72,7 +96,9 @@ mod metrics;
 mod service;
 pub mod wire;
 
-pub use metrics::{ServiceMetrics, TenantMetrics};
+pub use metrics::{LaneMetrics, ServiceMetrics, TenantMetrics};
+pub use sam_core::op::LinRecError;
+pub use sam_core::plan::CarryStateError;
 pub use sam_core::segmented::SegmentedError;
 pub use sam_core::{Engine, ScanKind};
 pub use service::{ResponseHandle, ScanService};
@@ -92,6 +118,12 @@ pub struct ServiceConfig {
     /// Maximum total elements per launch — also the per-request size cap
     /// ([`RequestError::TooLarge`]).
     pub max_batch_elems: usize,
+    /// Maximum distinct lanes (one per operator family — the Sum lane
+    /// plus one per recurrence coefficient vector). Each lane owns a
+    /// queue and [`ServiceConfig::executors`] threads, so this bounds
+    /// what adversarial coefficient churn can make the service spawn;
+    /// requests past the cap fail with [`RequestError::LanesExhausted`].
+    pub max_lanes: usize,
     /// Engine the cached plans resolve to.
     pub engine: Engine,
     /// Trace launches: every batch produces a [`sam_core::ScanReport`],
@@ -112,6 +144,7 @@ impl Default for ServiceConfig {
             queue_capacity: 4096,
             max_batch_requests: 256,
             max_batch_elems: 1 << 20,
+            max_lanes: 32,
             engine: Engine::auto(),
             trace: false,
             chaos_panic_tenant: None,
@@ -136,6 +169,12 @@ impl ServiceConfig {
     pub fn with_batch_limits(mut self, requests: usize, elems: usize) -> Self {
         self.max_batch_requests = requests;
         self.max_batch_elems = elems;
+        self
+    }
+
+    /// Sets the lane-population cap (see [`ServiceConfig::max_lanes`]).
+    pub fn with_max_lanes(mut self, lanes: usize) -> Self {
+        self.max_lanes = lanes;
         self
     }
 
@@ -175,12 +214,27 @@ pub struct ScanRequest {
     /// Optional linear-recurrence coefficients
     /// (`x_i = b_i + Σ_j coeffs[j]·x_{i-1-j}`, as in
     /// [`sam_core::op::LinRec`]). `None` — the overwhelmingly common case
-    /// — is a plain prefix sum. `Some` requests are **not coalescable**:
-    /// a recurrence restart is not expressible as a segmented-sum head
-    /// flag, so this batching service rejects them with the distinct
-    /// [`RequestError::UnsupportedSpec`] (retry against a dedicated
-    /// session, not a malformed-request bug).
+    /// — is a plain prefix sum. `Some` routes the request to that
+    /// coefficient vector's own lane, where it executes on a cached
+    /// recurrence session (one session shared per drained batch — a
+    /// recurrence restart is not expressible as a segmented-sum head
+    /// flag, so members run back-to-back rather than fusing). Recurrence
+    /// requests cannot carry segment heads
+    /// ([`RequestError::UnsupportedSpec`]).
     pub recurrence: Option<Vec<i32>>,
+    /// Streaming mode: ask for a [`sam_core::plan::CarryState`]
+    /// checkpoint alongside the outputs ([`ScanOutput::checkpoint`]), so
+    /// the next frame of a client-chunked scan can continue where this
+    /// one stopped. Streaming requests cannot carry segment heads.
+    pub streaming: bool,
+    /// Resume point for a continued stream: the checkpoint bytes the
+    /// previous frame's [`ScanOutput`] returned. Validated at admission
+    /// (decode) and at resume (spec + operator family/coefficient
+    /// fingerprint); a mismatch is [`RequestError::BadCheckpoint`], never
+    /// a silently different series. A request may carry a checkpoint
+    /// without `streaming` — that is the stream's *final* frame (resume,
+    /// scan, no new checkpoint).
+    pub checkpoint: Option<Vec<u8>>,
 }
 
 impl ScanRequest {
@@ -193,6 +247,8 @@ impl ScanRequest {
             values,
             heads: Vec::new(),
             recurrence: None,
+            streaming: false,
+            checkpoint: None,
         }
     }
 
@@ -213,14 +269,46 @@ impl ScanRequest {
     }
 
     /// Marks the request as a linear-recurrence scan with the given
-    /// coefficients (see [`ScanRequest::recurrence`]). This batching
-    /// service rejects such requests with
-    /// [`RequestError::UnsupportedSpec`]; the field exists so clients and
-    /// routing shards speak one request type.
+    /// coefficients (see [`ScanRequest::recurrence`]): it routes to the
+    /// coefficient vector's own lane and executes there.
     pub fn with_recurrence(mut self, coeffs: Vec<i32>) -> Self {
         self.recurrence = Some(coeffs);
         self
     }
+
+    /// Asks for a carry-state checkpoint alongside the outputs (see
+    /// [`ScanRequest::streaming`]).
+    pub fn streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Resumes a stream from a previous frame's checkpoint *and* keeps
+    /// streaming (see [`ScanRequest::checkpoint`]; clear
+    /// [`ScanRequest::streaming`] afterwards for a final frame).
+    pub fn with_checkpoint(mut self, checkpoint: Vec<u8>) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self.streaming = true;
+        self
+    }
+}
+
+/// A completed request's outputs.
+///
+/// Non-streaming callers usually go through [`ResponseHandle::wait`] /
+/// [`ScanService::scan`], which unwrap this to the bare values; streaming
+/// callers use [`ResponseHandle::wait_output`] /
+/// [`ScanService::scan_streaming`] to also receive the checkpoint for the
+/// next frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutput {
+    /// The scanned outputs, one per input value.
+    pub values: Vec<i32>,
+    /// The carry-state checkpoint after consuming this request's values —
+    /// present exactly when the request asked to keep streaming
+    /// ([`ScanRequest::streaming`]). Feed it to the next frame via
+    /// [`ScanRequest::with_checkpoint`].
+    pub checkpoint: Option<Vec<u8>>,
 }
 
 /// Why a request was rejected or failed. Every variant is a *per-request*
@@ -237,19 +325,35 @@ pub enum RequestError {
         /// The configured ceiling ([`ServiceConfig::max_batch_elems`]).
         max: usize,
     },
-    /// The request is well-formed but asks for a spec this service cannot
-    /// coalesce (e.g. a linear-recurrence scan, whose restarts are not
-    /// expressible as segment heads). Distinct from
-    /// [`RequestError::Malformed`] so clients can route the request to a
-    /// dedicated non-batching endpoint instead of treating it as a bug.
+    /// The request is well-formed but combines features no lane can
+    /// execute together (e.g. segment heads on a recurrence or streaming
+    /// scan — a recurrence restart is not expressible as a head flag).
+    /// Distinct from [`RequestError::Malformed`] so clients can split the
+    /// request instead of treating it as a bug.
     UnsupportedSpec {
-        /// Human-readable description of the unsupported feature.
+        /// Human-readable description of the unsupported combination.
         feature: &'static str,
     },
+    /// The recurrence coefficient vector cannot form a
+    /// [`sam_core::op::LinRec`] operator (empty, or longer than
+    /// [`sam_core::ScanSpec::MAX_ORDER`]). Rejected at admission.
+    BadRecurrence(LinRecError),
+    /// The request's resume checkpoint is corrupt, or belongs to a
+    /// different spec or operator than the request (family/coefficient
+    /// fingerprint mismatch): resuming would silently compute a different
+    /// series, so the request fails instead.
+    BadCheckpoint(CarryStateError),
     /// The bounded admission queue is full (backpressure signal from
     /// [`ScanService::try_submit`]). Retry later or use the blocking
     /// [`ScanService::submit`].
     QueueFull,
+    /// The lane population is at [`ServiceConfig::max_lanes`] and this
+    /// request's operator family has no lane yet. Retry on an existing
+    /// family, or run against a service configured with more lanes.
+    LanesExhausted {
+        /// The configured lane cap.
+        max: usize,
+    },
     /// The service is shutting down; the request was not executed.
     ShuttingDown,
     /// The handler executing this request's batch panicked. The batch
@@ -265,9 +369,14 @@ impl std::fmt::Display for RequestError {
                 write!(f, "request of {elems} elements exceeds the {max}-element cap")
             }
             RequestError::UnsupportedSpec { feature } => {
-                write!(f, "unsupported spec: {feature} cannot be coalesced by this service")
+                write!(f, "unsupported spec: {feature} cannot be executed by this service")
             }
+            RequestError::BadRecurrence(err) => write!(f, "bad recurrence coefficients: {err}"),
+            RequestError::BadCheckpoint(err) => write!(f, "bad resume checkpoint: {err}"),
             RequestError::QueueFull => write!(f, "admission queue full"),
+            RequestError::LanesExhausted { max } => {
+                write!(f, "lane population at the configured cap of {max}")
+            }
             RequestError::ShuttingDown => write!(f, "service shutting down"),
             RequestError::Panicked => write!(f, "request batch panicked"),
         }
@@ -278,6 +387,8 @@ impl std::error::Error for RequestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RequestError::Malformed(err) => Some(err),
+            RequestError::BadRecurrence(err) => Some(err),
+            RequestError::BadCheckpoint(err) => Some(err),
             _ => None,
         }
     }

@@ -32,16 +32,43 @@ pub struct TenantMetrics {
     pub last_carry_wait_fraction: f64,
 }
 
+/// One lane's batch accounting — the per-shard view of how well
+/// coalescing is working for that operator family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneMetrics {
+    /// Coalesced launches this lane executed (one greedy queue drain
+    /// each).
+    pub batches: u64,
+    /// Requests executed across this lane's launches.
+    pub requests: u64,
+    /// Largest request count drained into a single launch so far.
+    pub max_batch_requests: u64,
+}
+
+impl LaneMetrics {
+    /// Mean requests per launch on this lane; `0.0` before the first
+    /// launch.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+}
+
 /// A point-in-time snapshot of service accounting.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceMetrics {
     /// Per-tenant totals.
     pub tenants: HashMap<String, TenantMetrics>,
-    /// Segmented launches executed.
+    /// Per-lane batch accounting, keyed by the lane's label (`"sum"` for
+    /// the segmented Sum lane, `"rec[c0,c1,...]"` for a recurrence lane).
+    pub lanes: HashMap<String, LaneMetrics>,
+    /// Launches executed across all lanes.
     pub batches: u64,
     /// Requests executed across all launches.
     pub requests: u64,
-    /// Largest request count fused into a single launch so far.
+    /// Largest request count drained into a single launch so far.
     pub max_batch_requests: u64,
     /// Requests rejected by backpressure ([`crate::RequestError::QueueFull`]).
     pub shed: u64,
@@ -50,8 +77,8 @@ pub struct ServiceMetrics {
 }
 
 impl ServiceMetrics {
-    /// Mean requests per launch — the realized coalescing factor; `0.0`
-    /// before the first launch.
+    /// Mean requests per launch across all lanes — the realized
+    /// coalescing factor; `0.0` before the first launch.
     pub fn coalescing_factor(&self) -> f64 {
         if self.batches == 0 {
             return 0.0;

@@ -1,5 +1,16 @@
-//! The service core: bounded admission queue, coalescing executors over
-//! cached plans, panic-isolated batch execution, and reply tickets.
+//! The service core: a spec-sharded routing front-end over per-lane
+//! bounded admission queues, coalescing executors over cached plans,
+//! panic-isolated batch execution, and reply tickets.
+//!
+//! Every request is keyed to a [`LaneKey`] by its operator family. The
+//! Sum lane fuses compatible requests into one segmented launch (the
+//! pair transformation); each recurrence coefficient vector gets its own
+//! lane whose executors run drained requests back-to-back on a cached
+//! [`LinRec`] session — correct for recurrences, whose restarts are not
+//! expressible as segment-head flags. Streaming requests (carry
+//! checkpoints across frames) execute per request on cached plain
+//! sessions, resumable on any executor because the carry travels in the
+//! request itself.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -7,17 +18,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use sam_core::op::Sum;
-use sam_core::plan::{PlanHint, ScanPlan, ScanSession};
+use sam_core::chunk_kernel::ChunkKernel;
+use sam_core::op::{LinRec, Sum};
+use sam_core::plan::{CarryState, PlanCache, PlanHint, ScanPlan, ScanSession};
 use sam_core::segmented::{try_feed_segmented_into, Packed32, SegmentedOp};
 use sam_core::{ScanKind, ScanSpec};
 
 use crate::metrics::ServiceMetrics;
-use crate::{RequestError, ScanRequest, SegmentedError, ServiceConfig};
+use crate::{RequestError, ScanOutput, ScanRequest, ServiceConfig};
 
-/// The session type every coalesced launch runs on: the Blelloch pair
-/// transformation over wrapping `i32` sums, on an inclusive order-1
-/// tuple-1 plan (the only spec the pair transformation composes with).
+/// The session type the Sum lane's coalesced launches run on: the
+/// Blelloch pair transformation over wrapping `i32` sums, on an inclusive
+/// order-1 tuple-1 plan (the only spec the pair transformation composes
+/// with — the lane invariant [`execute_sum_batch`] enforces per launch).
 type SegSession = ScanSession<Packed32<i32>, SegmentedOp<Sum>>;
 
 /// Locks a mutex, riding through poisoning: a panicked batch must not
@@ -26,6 +39,45 @@ type SegSession = ScanSession<Packed32<i32>, SegmentedOp<Sum>>;
 /// shared structures are only ever mutated under short, total sections).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Which executor shard a request runs on. One lane exists per operator
+/// family actually seen: the wire speaks `i32` tuple-1 requests, so the
+/// realized key space is the Sum family plus one key per distinct
+/// recurrence coefficient vector (whose length is the order/depth).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum LaneKey {
+    /// Plain prefix sums: coalesced into fused segmented launches.
+    Sum,
+    /// A linear-recurrence family, one lane per coefficient vector.
+    Recurrence(Vec<i32>),
+}
+
+impl LaneKey {
+    fn of(request: &ScanRequest) -> LaneKey {
+        match &request.recurrence {
+            None => LaneKey::Sum,
+            Some(coeffs) => LaneKey::Recurrence(coeffs.clone()),
+        }
+    }
+
+    /// The metrics label: `"sum"` or `"rec[c0,c1,...]"`.
+    fn label(&self) -> String {
+        match self {
+            LaneKey::Sum => "sum".to_owned(),
+            LaneKey::Recurrence(coeffs) => {
+                let mut s = String::from("rec[");
+                for (i, c) in coeffs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&c.to_string());
+                }
+                s.push(']');
+                s
+            }
+        }
+    }
 }
 
 /// A queued request plus its reply ticket.
@@ -38,7 +90,7 @@ struct Pending {
 /// One request's reply slot. Filled exactly once by an executor (or the
 /// shutdown drain), consumed by [`ResponseHandle::wait`]/[`ResponseHandle::try_take`].
 struct Ticket {
-    slot: Mutex<Option<Result<Vec<i32>, RequestError>>>,
+    slot: Mutex<Option<Result<ScanOutput, RequestError>>>,
     ready: Condvar,
 }
 
@@ -50,7 +102,7 @@ impl Ticket {
         })
     }
 
-    fn fill(&self, result: Result<Vec<i32>, RequestError>) {
+    fn fill(&self, result: Result<ScanOutput, RequestError>) {
         *lock(&self.slot) = Some(result);
         self.ready.notify_all();
     }
@@ -58,9 +110,11 @@ impl Ticket {
 
 /// The caller's end of a submitted request.
 ///
-/// Blocking callers use [`ResponseHandle::wait`]; poll-driven front-ends
-/// call [`ResponseHandle::try_take`] from their event loop. Dropping the
-/// handle abandons the response (the scan may still execute).
+/// Blocking callers use [`ResponseHandle::wait`] (or
+/// [`ResponseHandle::wait_output`] to keep a streaming checkpoint);
+/// poll-driven front-ends call [`ResponseHandle::try_take`] from their
+/// event loop. Dropping the handle abandons the response (the scan may
+/// still execute).
 pub struct ResponseHandle {
     ticket: Arc<Ticket>,
 }
@@ -72,8 +126,17 @@ impl std::fmt::Debug for ResponseHandle {
 }
 
 impl ResponseHandle {
-    /// Blocks until the request's batch completes and returns its result.
+    /// Blocks until the request's batch completes and returns its output
+    /// values, discarding any streaming checkpoint (use
+    /// [`ResponseHandle::wait_output`] to keep it).
     pub fn wait(self) -> Result<Vec<i32>, RequestError> {
+        self.wait_output().map(|output| output.values)
+    }
+
+    /// Blocks until the request's batch completes and returns its full
+    /// output, including the next-frame checkpoint of a streaming
+    /// request.
+    pub fn wait_output(self) -> Result<ScanOutput, RequestError> {
         let mut slot = lock(&self.ticket.slot);
         loop {
             if let Some(result) = slot.take() {
@@ -87,26 +150,53 @@ impl ResponseHandle {
         }
     }
 
-    /// Takes the result if the request has completed; `None` while it is
-    /// still queued or executing. Never blocks.
+    /// Takes the result values if the request has completed; `None` while
+    /// it is still queued or executing. Never blocks.
     pub fn try_take(&self) -> Option<Result<Vec<i32>, RequestError>> {
+        self.try_take_output()
+            .map(|result| result.map(|output| output.values))
+    }
+
+    /// [`ResponseHandle::try_take`], keeping any streaming checkpoint.
+    pub fn try_take_output(&self) -> Option<Result<ScanOutput, RequestError>> {
         lock(&self.ticket.slot).take()
+    }
+}
+
+/// One executor lane: a bounded queue plus its wait/space signals. The
+/// executors and cached sessions hang off the threads spawned for it.
+struct Lane {
+    label: String,
+    queue: Mutex<VecDeque<Pending>>,
+    /// Signalled when the queue gains work (this lane's executors wait here).
+    work: Condvar,
+    /// Signalled when the queue loses work (blocking submitters wait here).
+    space: Condvar,
+}
+
+impl Lane {
+    fn new(key: &LaneKey) -> Lane {
+        Lane {
+            label: key.label(),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
     }
 }
 
 /// State shared between submitters and executors.
 struct Shared {
     cfg: ServiceConfig,
-    queue: Mutex<VecDeque<Pending>>,
-    /// Signalled when the queue gains work (executors wait here).
-    work: Condvar,
-    /// Signalled when the queue loses work (blocking submitters wait here).
-    space: Condvar,
     shutdown: AtomicBool,
     /// Plans resolved once per `(spec, host fingerprint)` and shared by
-    /// every executor; sessions over them are cached per executor thread.
-    plans: Mutex<HashMap<(ScanSpec, String), ScanPlan>>,
+    /// every lane and executor; sessions over them are cached per
+    /// executor thread.
+    plans: PlanCache,
     metrics: Mutex<ServiceMetrics>,
+    /// The realized lanes, created lazily on first submission of their
+    /// operator family and bounded by [`ServiceConfig::max_lanes`].
+    lanes: Mutex<HashMap<LaneKey, Arc<Lane>>>,
 }
 
 /// The embeddable multi-tenant batching scan service. See the crate docs
@@ -125,49 +215,60 @@ impl std::fmt::Debug for ScanService {
 }
 
 impl ScanService {
-    /// Starts the executor pool and returns the service handle. The
+    /// Starts the service and returns its handle. Lanes (and their
+    /// executor pools) spin up lazily as operator families arrive. The
     /// handle is `Sync`: submit from as many threads as you like.
     pub fn start(cfg: ServiceConfig) -> ScanService {
-        let executors = cfg.executors.max(1);
         let shared = Arc::new(Shared {
             cfg,
-            queue: Mutex::new(VecDeque::new()),
-            work: Condvar::new(),
-            space: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            plans: Mutex::new(HashMap::new()),
+            plans: PlanCache::new(),
             metrics: Mutex::new(ServiceMetrics::default()),
+            lanes: Mutex::new(HashMap::new()),
         });
-        let handles = (0..executors)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sam-exec-{i}"))
-                    .spawn(move || executor_loop(&shared))
-                    .expect("spawn executor")
-            })
-            .collect();
         ScanService {
             shared,
-            executors: Mutex::new(handles),
+            executors: Mutex::new(Vec::new()),
         }
     }
 
-    /// Validates a request without touching the queue.
-    fn admit(&self, request: &ScanRequest) -> Result<(), RequestError> {
-        if request.recurrence.is_some() {
-            // A recurrence restart multiplies the carried state rather than
-            // zeroing it, so it cannot be expressed as a segment-head flag
-            // — the request is well-formed but not coalescable here.
+    /// Validates a request without touching any queue and resolves the
+    /// lane it routes to.
+    fn admit(&self, request: &ScanRequest) -> Result<LaneKey, RequestError> {
+        if let Some(coeffs) = &request.recurrence {
+            // Validate the operator up front so lane executors can rely
+            // on construction succeeding (and a violation still surfaces
+            // as a RequestError there, never a panic).
+            LinRec::<i32>::new(coeffs.clone()).map_err(RequestError::BadRecurrence)?;
+            if !request.heads.is_empty() {
+                // A recurrence restart multiplies the carried state rather
+                // than zeroing it, so it cannot be expressed as a
+                // segment-head flag. Split the request per segment instead.
+                return Err(RequestError::UnsupportedSpec {
+                    feature: "segment heads on a linear-recurrence scan",
+                });
+            }
+        }
+        if (request.streaming || request.checkpoint.is_some()) && !request.heads.is_empty() {
+            // The carry a streaming request must checkpoint is the plain
+            // scan state; a segmented stream's carry is the pair state,
+            // which the wire checkpoint format deliberately does not speak.
             return Err(RequestError::UnsupportedSpec {
-                feature: "linear-recurrence scan",
+                feature: "segment heads on a streaming scan",
             });
         }
+        if let Some(bytes) = &request.checkpoint {
+            // Fail corrupt checkpoints fast, before they queue; the
+            // spec/operator match is re-validated at resume time.
+            CarryState::from_bytes(bytes).map_err(RequestError::BadCheckpoint)?;
+        }
         if !request.heads.is_empty() && request.heads.len() != request.values.len() {
-            return Err(RequestError::Malformed(SegmentedError::LengthMismatch {
-                values: request.values.len(),
-                heads: request.heads.len(),
-            }));
+            return Err(RequestError::Malformed(
+                sam_core::segmented::SegmentedError::LengthMismatch {
+                    values: request.values.len(),
+                    heads: request.heads.len(),
+                },
+            ));
         }
         if request.values.len() > self.shared.cfg.max_batch_elems {
             return Err(RequestError::TooLarge {
@@ -178,27 +279,57 @@ impl ScanService {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(RequestError::ShuttingDown);
         }
-        Ok(())
+        Ok(LaneKey::of(request))
     }
 
-    /// Submits a request, blocking while the admission queue is full
-    /// (backpressure). Fails fast on malformed or oversized requests and
-    /// during shutdown.
+    /// Returns the lane for `key`, creating it (and spawning its executor
+    /// pool) on first use, bounded by [`ServiceConfig::max_lanes`].
+    fn lane(&self, key: LaneKey) -> Result<Arc<Lane>, RequestError> {
+        let mut lanes = lock(&self.shared.lanes);
+        if let Some(lane) = lanes.get(&key) {
+            return Ok(Arc::clone(lane));
+        }
+        if lanes.len() >= self.shared.cfg.max_lanes.max(1) {
+            return Err(RequestError::LanesExhausted {
+                max: self.shared.cfg.max_lanes.max(1),
+            });
+        }
+        let lane = Arc::new(Lane::new(&key));
+        lanes.insert(key.clone(), Arc::clone(&lane));
+        drop(lanes);
+        let mut handles = lock(&self.executors);
+        for i in 0..self.shared.cfg.executors.max(1) {
+            let shared = Arc::clone(&self.shared);
+            let lane = Arc::clone(&lane);
+            let key = key.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sam-{}-{i}", lane.label))
+                    .spawn(move || executor_loop(&shared, &lane, &key))
+                    .expect("spawn executor"),
+            );
+        }
+        Ok(lane)
+    }
+
+    /// Submits a request, blocking while its lane's admission queue is
+    /// full (backpressure). Fails fast on malformed or oversized requests
+    /// and during shutdown.
     pub fn submit(&self, request: ScanRequest) -> Result<ResponseHandle, RequestError> {
-        self.admit(&request)?;
+        let key = self.admit(&request)?;
+        let lane = self.lane(key)?;
         let ticket = Ticket::new();
         let pending = Pending {
             request,
             ticket: Arc::clone(&ticket),
             enqueued: Instant::now(),
         };
-        let mut queue = lock(&self.shared.queue);
+        let mut queue = lock(&lane.queue);
         while queue.len() >= self.shared.cfg.queue_capacity {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return Err(RequestError::ShuttingDown);
             }
-            queue = self
-                .shared
+            queue = lane
                 .space
                 .wait(queue)
                 .unwrap_or_else(PoisonError::into_inner);
@@ -208,22 +339,23 @@ impl ScanService {
         }
         queue.push_back(pending);
         drop(queue);
-        self.shared.work.notify_one();
+        lane.work.notify_one();
         Ok(ResponseHandle { ticket })
     }
 
-    /// Submits a request without blocking: a full queue is an immediate
-    /// [`RequestError::QueueFull`] — the load-shedding signal for open-loop
-    /// clients.
+    /// Submits a request without blocking: a full lane queue is an
+    /// immediate [`RequestError::QueueFull`] — the load-shedding signal
+    /// for open-loop clients.
     pub fn try_submit(&self, request: ScanRequest) -> Result<ResponseHandle, RequestError> {
-        self.admit(&request)?;
+        let key = self.admit(&request)?;
+        let lane = self.lane(key)?;
         let ticket = Ticket::new();
         let pending = Pending {
             request,
             ticket: Arc::clone(&ticket),
             enqueued: Instant::now(),
         };
-        let mut queue = lock(&self.shared.queue);
+        let mut queue = lock(&lane.queue);
         // Re-check under the lock: a shutdown that already drained the
         // queue must not gain a request no executor will ever pop.
         if self.shared.shutdown.load(Ordering::Acquire) {
@@ -236,7 +368,7 @@ impl ScanService {
         }
         queue.push_back(pending);
         drop(queue);
-        self.shared.work.notify_one();
+        lane.work.notify_one();
         Ok(ResponseHandle { ticket })
     }
 
@@ -245,28 +377,44 @@ impl ScanService {
         self.submit(request)?.wait()
     }
 
-    /// A snapshot of service and per-tenant accounting.
+    /// Convenience: [`ScanService::submit`] +
+    /// [`ResponseHandle::wait_output`] — the shape streaming clients use,
+    /// since it keeps the next-frame checkpoint.
+    pub fn scan_streaming(&self, request: ScanRequest) -> Result<ScanOutput, RequestError> {
+        self.submit(request)?.wait_output()
+    }
+
+    /// A snapshot of service, per-lane, and per-tenant accounting.
     pub fn metrics(&self) -> ServiceMetrics {
         lock(&self.shared.metrics).clone()
     }
 
     /// Distinct plans currently cached (one per `(spec, host)` key).
     pub fn plans_cached(&self) -> usize {
-        lock(&self.shared.plans).len()
+        self.shared.plans.len()
     }
 
-    /// Stops accepting work, drains the queue (pending requests fail with
-    /// [`RequestError::ShuttingDown`]), and joins the executor pool.
-    /// Idempotent; also invoked by `Drop`.
+    /// Lanes currently realized (the Sum lane plus one per recurrence
+    /// coefficient vector seen).
+    pub fn lanes_active(&self) -> usize {
+        lock(&self.shared.lanes).len()
+    }
+
+    /// Stops accepting work, drains every lane's queue (pending requests
+    /// fail with [`RequestError::ShuttingDown`]), and joins the executor
+    /// pools. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        // Fail whatever is still queued so no submitter waits forever.
-        let drained: Vec<Pending> = lock(&self.shared.queue).drain(..).collect();
-        for pending in drained {
-            pending.ticket.fill(Err(RequestError::ShuttingDown));
+        let lanes: Vec<Arc<Lane>> = lock(&self.shared.lanes).values().cloned().collect();
+        for lane in &lanes {
+            // Fail whatever is still queued so no submitter waits forever.
+            let drained: Vec<Pending> = lock(&lane.queue).drain(..).collect();
+            for pending in drained {
+                pending.ticket.fill(Err(RequestError::ShuttingDown));
+            }
+            lane.work.notify_all();
+            lane.space.notify_all();
         }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
         for handle in lock(&self.executors).drain(..) {
             // An executor that somehow died still counts as stopped.
             let _ = handle.join();
@@ -280,152 +428,208 @@ impl Drop for ScanService {
     }
 }
 
-/// One coalesced launch: the requests riding it and the fused input.
-struct Batch {
-    members: Vec<Pending>,
-    values: Vec<i32>,
-    heads: Vec<bool>,
-    /// Exclusive end offset of each member's slice of `values`.
-    bounds: Vec<usize>,
+/// Per-executor cached sessions and scratch, shaped by the lane's
+/// operator family. Rebuilt from scratch after a panicked batch (the
+/// cached streaming state is suspect).
+enum LaneState {
+    Sum {
+        /// The fused segmented launch session (boxed: it dwarfs the
+        /// recurrence variant).
+        seg: Option<Box<SegSession>>,
+        scratch: Vec<Packed32<i32>>,
+        packed_out: Vec<i32>,
+        /// Fuse buffers for the coalesced launch.
+        values: Vec<i32>,
+        heads: Vec<bool>,
+        /// Per-kind plain Sum sessions for streaming members.
+        stream: HashMap<ScanKind, ScanSession<i32, Sum>>,
+    },
+    Recurrence {
+        coeffs: Vec<i32>,
+        /// Per-kind recurrence sessions; all drained members share them.
+        sessions: HashMap<ScanKind, ScanSession<i32, LinRec<i32>>>,
+    },
 }
 
-impl Batch {
-    fn clear(&mut self) {
-        self.members.clear();
-        self.values.clear();
-        self.heads.clear();
-        self.bounds.clear();
+impl LaneState {
+    fn new(key: &LaneKey) -> LaneState {
+        match key {
+            LaneKey::Sum => LaneState::Sum {
+                seg: None,
+                scratch: Vec::new(),
+                packed_out: Vec::new(),
+                values: Vec::new(),
+                heads: Vec::new(),
+                stream: HashMap::new(),
+            },
+            LaneKey::Recurrence(coeffs) => LaneState::Recurrence {
+                coeffs: coeffs.clone(),
+                sessions: HashMap::new(),
+            },
+        }
+    }
+
+    /// Discards every cached session (after a panicked batch).
+    fn rebuild(&mut self) {
+        match self {
+            LaneState::Sum { seg, stream, .. } => {
+                *seg = None;
+                stream.clear();
+            }
+            LaneState::Recurrence { sessions, .. } => sessions.clear(),
+        }
+    }
+
+    /// The most recent traced report from any session this state holds.
+    fn last_report(&self) -> Option<sam_core::ScanReport> {
+        match self {
+            LaneState::Sum { seg, stream, .. } => seg
+                .as_ref()
+                .and_then(|s| s.last_report())
+                .or_else(|| stream.values().next().and_then(|s| s.last_report())),
+            LaneState::Recurrence { sessions, .. } => {
+                sessions.values().next().and_then(|s| s.last_report())
+            }
+        }
     }
 }
 
-/// The executor body: block for work, drain greedily, launch, reply.
-fn executor_loop(shared: &Shared) {
-    // Per-executor cached session and buffers; the session is rebuilt
-    // only after a panicked batch (its streaming state is suspect).
-    let mut session: Option<SegSession> = None;
-    let mut scratch: Vec<Packed32<i32>> = Vec::new();
-    let mut packed_out: Vec<i32> = Vec::new();
-    let mut batch = Batch {
-        members: Vec::new(),
-        values: Vec::new(),
-        heads: Vec::new(),
-        bounds: Vec::new(),
-    };
+/// Resolves the shared plan for `spec` and the service engine/trace
+/// configuration.
+fn plan_for(shared: &Shared, spec: ScanSpec) -> ScanPlan {
+    shared.plans.get_or_insert_with(spec, || {
+        let mut hint = PlanHint::expected_len(shared.cfg.max_batch_elems);
+        hint.trace = shared.cfg.trace;
+        ScanPlan::new(spec, shared.cfg.engine.clone(), hint)
+    })
+}
+
+/// Runs one request on a cached per-request session: resume from its
+/// checkpoint (or reset), feed its values, and checkpoint back out if it
+/// keeps streaming. Used for every recurrence member and every streaming
+/// Sum member.
+fn run_single<Op: ChunkKernel<i32>>(
+    session: &mut ScanSession<i32, Op>,
+    request: &ScanRequest,
+) -> Result<ScanOutput, RequestError> {
+    match &request.checkpoint {
+        Some(bytes) => {
+            let checkpoint = CarryState::from_bytes(bytes).map_err(RequestError::BadCheckpoint)?;
+            session.reset();
+            session
+                .resume(&checkpoint)
+                .map_err(RequestError::BadCheckpoint)?;
+        }
+        None => session.reset(),
+    }
+    let values = session.feed(&request.values).to_vec();
+    let checkpoint = request
+        .streaming
+        .then(|| session.carry_state().to_bytes());
+    Ok(ScanOutput { values, checkpoint })
+}
+
+/// The executor body: block for lane work, drain greedily, launch, reply.
+fn executor_loop(shared: &Shared, lane: &Lane, key: &LaneKey) {
+    let mut state = LaneState::new(key);
+    let mut batch: Vec<Pending> = Vec::new();
     loop {
         batch.clear();
         {
-            let mut queue = lock(&shared.queue);
+            let mut queue = lock(&lane.queue);
             loop {
                 if let Some(first) = queue.pop_front() {
                     // Greedy coalescing: take whatever is already queued,
                     // bounded by the launch limits. No delay timer — the
                     // backlog itself is the coalescing window.
                     let mut elems = first.request.values.len();
-                    batch.members.push(first);
-                    while batch.members.len() < shared.cfg.max_batch_requests {
-                        let fits = queue
-                            .front()
-                            .is_some_and(|p| elems + p.request.values.len() <= shared.cfg.max_batch_elems);
+                    batch.push(first);
+                    while batch.len() < shared.cfg.max_batch_requests {
+                        let fits = queue.front().is_some_and(|p| {
+                            elems + p.request.values.len() <= shared.cfg.max_batch_elems
+                        });
                         if !fits {
                             break;
                         }
                         let next = queue.pop_front().expect("front checked");
                         elems += next.request.values.len();
-                        batch.members.push(next);
+                        batch.push(next);
                     }
                     break;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared
+                queue = lane
                     .work
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
             }
         }
-        shared.space.notify_all();
-        execute_batch(shared, &mut batch, &mut session, &mut scratch, &mut packed_out);
+        lane.space.notify_all();
+        execute_batch(shared, lane, &mut state, &mut batch);
     }
 }
 
-/// Fuses the batch members into one segmented launch, splits the outputs
-/// back per request, and fills every ticket. A panic anywhere inside the
-/// launch fails the whole batch — and only the batch.
-fn execute_batch(
-    shared: &Shared,
-    batch: &mut Batch,
-    session: &mut Option<SegSession>,
-    scratch: &mut Vec<Packed32<i32>>,
-    packed_out: &mut Vec<i32>,
-) {
-    // Fuse: every request starts a fresh segment (tenant isolation — a
-    // request must never observe a neighbor's running sum), and its own
-    // interior head flags are honored beyond that.
-    for pending in &batch.members {
-        let req = &pending.request;
-        let start = batch.values.len();
-        batch.values.extend_from_slice(&req.values);
-        if req.heads.is_empty() {
-            batch.heads.resize(batch.values.len(), false);
-        } else {
-            batch.heads.extend_from_slice(&req.heads);
-        }
-        if let Some(first) = batch.heads.get_mut(start) {
-            *first = true;
-        }
-        batch.bounds.push(batch.values.len());
-    }
-
+/// Executes one drained batch on the lane's cached sessions, fills every
+/// ticket, and attributes metrics. A panic anywhere inside the launch
+/// fails the whole batch — and only the batch.
+fn execute_batch(shared: &Shared, lane: &Lane, state: &mut LaneState, batch: &mut Vec<Pending>) {
     let launched = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let sess = session.get_or_insert_with(|| {
-            let key = (ScanSpec::inclusive(), sam_core::adapt::host_fingerprint());
-            let plan = lock(&shared.plans)
-                .entry(key)
-                .or_insert_with(|| {
-                    let mut hint = PlanHint::expected_len(shared.cfg.max_batch_elems);
-                    hint.trace = shared.cfg.trace;
-                    ScanPlan::new(ScanSpec::inclusive(), shared.cfg.engine.clone(), hint)
-                })
-                .clone();
-            plan.session(SegmentedOp::new(Sum))
-        });
-        // Each launch is self-contained; reset discards any carry a
-        // previous (possibly foreign) batch left behind.
-        sess.reset();
-        try_feed_segmented_into(sess, &batch.values, &batch.heads, scratch, packed_out)
-            .expect("service batches are inclusive order-1 tuple-1 by construction");
-        // Fault injection *after* the feed: the panic leaves the cached
-        // session holding a consumed stream, which is exactly the state a
+        let results = match state {
+            LaneState::Sum {
+                seg,
+                scratch,
+                packed_out,
+                values,
+                heads,
+                stream,
+            } => execute_sum_batch(shared, batch, seg, scratch, packed_out, values, heads, stream),
+            LaneState::Recurrence { coeffs, sessions } => {
+                execute_recurrence_batch(shared, batch, coeffs, sessions)
+            }
+        };
+        // Fault injection *after* the work: the panic leaves cached
+        // sessions holding consumed streams, which is exactly the state a
         // real handler bug would strand — the rebuild below must cope.
         if let Some(chaos) = &shared.cfg.chaos_panic_tenant {
-            if batch.members.iter().any(|p| &p.request.tenant == chaos) {
+            if batch.iter().any(|p| &p.request.tenant == chaos) {
                 panic!("chaos: injected handler panic for tenant {chaos}");
             }
         }
+        results
     }));
     let exec_us = u64::try_from(launched.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     // Traced launches surface measured throughput for SLO accounting.
-    let report = match (&outcome, &*session) {
-        (Ok(()), Some(sess)) if shared.cfg.trace => sess.plan().last_report(),
+    let report = match &outcome {
+        Ok(_) if shared.cfg.trace => state.last_report(),
         _ => None,
     };
     if outcome.is_err() {
-        // The cached session may hold a half-fed stream; rebuild lazily.
-        *session = None;
+        // Cached sessions may hold half-fed streams; rebuild lazily.
+        state.rebuild();
     }
 
     let mut metrics = lock(&shared.metrics);
     metrics.batches += 1;
-    metrics.requests += batch.members.len() as u64;
-    metrics.max_batch_requests = metrics.max_batch_requests.max(batch.members.len() as u64);
+    metrics.requests += batch.len() as u64;
+    metrics.max_batch_requests = metrics.max_batch_requests.max(batch.len() as u64);
     if outcome.is_err() {
         metrics.panicked_batches += 1;
     }
-    let mut start = 0usize;
-    for (pending, &end) in batch.members.iter().zip(&batch.bounds) {
+    if !metrics.lanes.contains_key(&lane.label) {
+        metrics.lanes.insert(lane.label.clone(), Default::default());
+    }
+    let lane_metrics = metrics
+        .lanes
+        .get_mut(&lane.label)
+        .expect("inserted above");
+    lane_metrics.batches += 1;
+    lane_metrics.requests += batch.len() as u64;
+    lane_metrics.max_batch_requests = lane_metrics.max_batch_requests.max(batch.len() as u64);
+    for (i, pending) in batch.drain(..).enumerate() {
         // `get_mut` first: the steady state is a known tenant, and the
         // entry API would clone the name on every request.
         if !metrics.tenants.contains_key(&pending.request.tenant) {
@@ -438,7 +642,7 @@ fn execute_batch(
             .get_mut(&pending.request.tenant)
             .expect("inserted above");
         tenant.requests += 1;
-        tenant.elements += (end - start) as u64;
+        tenant.elements += pending.request.values.len() as u64;
         tenant.batches += 1;
         tenant.queue_wait_us += u64::try_from(
             launched
@@ -451,17 +655,145 @@ fn execute_batch(
             tenant.last_elems_per_sec = report.elems_per_sec();
             tenant.last_carry_wait_fraction = report.carry_wait_fraction();
         }
-        if outcome.is_err() {
-            tenant.errors += 1;
-        }
         let result = match &outcome {
-            Ok(()) => Ok(unfuse(&pending.request, &packed_out[start..end])),
+            Ok(results) => results[i].clone(),
             Err(_) => Err(RequestError::Panicked),
         };
+        if result.is_err() {
+            tenant.errors += 1;
+        }
         pending.ticket.fill(result);
-        start = end;
     }
     drop(metrics);
+}
+
+/// The Sum lane launch: fuse the non-streaming members into one segmented
+/// scan (every member a fresh segment — tenant isolation) and run each
+/// streaming member on its kind's cached plain session. Returns one
+/// result per batch member, in batch order.
+#[allow(clippy::too_many_arguments)]
+fn execute_sum_batch(
+    shared: &Shared,
+    batch: &[Pending],
+    seg: &mut Option<Box<SegSession>>,
+    scratch: &mut Vec<Packed32<i32>>,
+    packed_out: &mut Vec<i32>,
+    values: &mut Vec<i32>,
+    heads: &mut Vec<bool>,
+    stream: &mut HashMap<ScanKind, ScanSession<i32, Sum>>,
+) -> Vec<Result<ScanOutput, RequestError>> {
+    let mut results: Vec<Result<ScanOutput, RequestError>> = Vec::with_capacity(batch.len());
+
+    // Fuse: every non-streaming request starts a fresh segment (a request
+    // must never observe a neighbor's running sum), and its own interior
+    // head flags are honored beyond that.
+    values.clear();
+    heads.clear();
+    let mut bounds: Vec<(usize, usize)> = Vec::new(); // (batch index, end offset)
+    for (i, pending) in batch.iter().enumerate() {
+        let req = &pending.request;
+        if req.streaming || req.checkpoint.is_some() {
+            results.push(Err(RequestError::Panicked)); // placeholder, filled below
+            continue;
+        }
+        let start = values.len();
+        values.extend_from_slice(&req.values);
+        if req.heads.is_empty() {
+            heads.resize(values.len(), false);
+        } else {
+            heads.extend_from_slice(&req.heads);
+        }
+        if let Some(first) = heads.get_mut(start) {
+            *first = true;
+        }
+        bounds.push((i, values.len()));
+        results.push(Err(RequestError::Panicked)); // placeholder, filled below
+    }
+
+    if !bounds.is_empty() {
+        let sess: &mut SegSession = seg.get_or_insert_with(|| {
+            Box::new(plan_for(shared, ScanSpec::inclusive()).session(SegmentedOp::new(Sum)))
+        });
+        // Each launch is self-contained; reset discards any carry a
+        // previous (possibly foreign) batch left behind.
+        sess.reset();
+        match try_feed_segmented_into(sess, values, heads, scratch, packed_out) {
+            Ok(()) => {
+                let mut start = 0usize;
+                for &(i, end) in &bounds {
+                    results[i] = Ok(ScanOutput {
+                        values: unfuse(&batch[i].request, &packed_out[start..end]),
+                        checkpoint: None,
+                    });
+                    start = end;
+                }
+            }
+            Err(err) => {
+                // The shard invariant (inclusive order-1 tuple-1, one head
+                // per value) failed for this launch: surface it as a
+                // per-request error on every fused member instead of
+                // panicking the executor.
+                for &(i, _) in &bounds {
+                    results[i] = Err(RequestError::Malformed(err));
+                }
+            }
+        }
+    }
+
+    // Streaming members run per request — their carry travels in the
+    // request/response, so any executor (and any drain order) works.
+    for (i, pending) in batch.iter().enumerate() {
+        let req = &pending.request;
+        if !(req.streaming || req.checkpoint.is_some()) {
+            continue;
+        }
+        let session = stream.entry(req.kind).or_insert_with(|| {
+            let spec = ScanSpec::inclusive().with_kind(req.kind);
+            plan_for(shared, spec).session(Sum)
+        });
+        results[i] = run_single(session, req);
+    }
+    results
+}
+
+/// A recurrence lane launch: every drained member runs back-to-back on
+/// the kind's cached [`LinRec`] session (reset or resumed per request).
+/// The coalescing dividend here is amortizing the plan, session, and
+/// queue handshake across the drain, not fusing the scans themselves.
+fn execute_recurrence_batch(
+    shared: &Shared,
+    batch: &[Pending],
+    coeffs: &[i32],
+    sessions: &mut HashMap<ScanKind, ScanSession<i32, LinRec<i32>>>,
+) -> Vec<Result<ScanOutput, RequestError>> {
+    batch
+        .iter()
+        .map(|pending| {
+            let req = &pending.request;
+            let op = match LinRec::new(coeffs.to_vec()) {
+                Ok(op) => op,
+                // Admission validated construction; if the invariant is
+                // ever violated it surfaces per request, not as a panic.
+                Err(err) => return Err(RequestError::BadRecurrence(err)),
+            };
+            let session = match sessions.entry(req.kind) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let spec = ScanSpec::inclusive()
+                        .with_kind(req.kind)
+                        .with_order(op.order())
+                        .map_err(|_| {
+                            RequestError::BadRecurrence(sam_core::op::LinRecError::TooLong {
+                                got: coeffs.len(),
+                                max: ScanSpec::MAX_ORDER as usize,
+                            })
+                        })?;
+                    e.insert(plan_for(shared, spec).session(op.clone()))
+                }
+            };
+            run_single(session, req)
+        })
+        .collect()
 }
 
 /// Recovers one request's outputs from its slice of the fused inclusive
@@ -502,6 +834,7 @@ mod tests {
             .unwrap();
         assert_eq!(got, vec![0, 3, 2]);
         assert_eq!(service.plans_cached(), 1);
+        assert_eq!(service.lanes_active(), 1);
         service.shutdown();
     }
 
@@ -536,27 +869,178 @@ mod tests {
         service.shutdown();
     }
 
+    /// The serial recurrence loop every routed recurrence request must
+    /// match bit for bit (inclusive emits `y_i`, exclusive the
+    /// prediction `y_i - b_i`).
+    fn serial_linrec(values: &[i32], coeffs: &[i32], kind: ScanKind) -> Vec<i32> {
+        let mut hist = vec![0i32; coeffs.len()];
+        values
+            .iter()
+            .map(|&x| {
+                let pred = coeffs
+                    .iter()
+                    .zip(&hist)
+                    .fold(0i32, |a, (&c, &h)| a.wrapping_add(c.wrapping_mul(h)));
+                let y = x.wrapping_add(pred);
+                hist.rotate_right(1);
+                hist[0] = y;
+                match kind {
+                    ScanKind::Inclusive => y,
+                    ScanKind::Exclusive => pred,
+                }
+            })
+            .collect()
+    }
+
     #[test]
-    fn recurrence_requests_are_rejected_as_unsupported_not_malformed() {
+    fn recurrence_requests_execute_on_their_own_lane() {
+        let service = ScanService::start(ServiceConfig::default());
+        let values = vec![1, 2, 3, 4, 5];
+        for coeffs in [vec![2], vec![1], vec![2, -1], vec![1, 1, 1]] {
+            for kind in [ScanKind::Inclusive, ScanKind::Exclusive] {
+                let got = service
+                    .scan(
+                        ScanRequest::new("iir", kind, values.clone())
+                            .with_recurrence(coeffs.clone()),
+                    )
+                    .unwrap();
+                assert_eq!(got, serial_linrec(&values, &coeffs, kind), "{coeffs:?} {kind:?}");
+            }
+        }
+        // One lane per coefficient vector, plus none for Sum (never used).
+        assert_eq!(service.lanes_active(), 4);
+        let metrics = service.metrics();
+        assert_eq!(metrics.lanes["rec[2,-1]"].requests, 2);
+        // Plain requests still work, on their own lane.
+        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![7])).unwrap(), vec![7]);
+        assert_eq!(service.lanes_active(), 5);
+        service.shutdown();
+    }
+
+    #[test]
+    fn recurrence_requests_with_heads_or_bad_coeffs_are_rejected() {
         let service = ScanService::start(ServiceConfig::default());
         let err = service
-            .scan(ScanRequest::inclusive("iir", vec![1, 2, 3]).with_recurrence(vec![2]))
-            .unwrap_err();
-        assert_eq!(
-            err,
-            RequestError::UnsupportedSpec {
-                feature: "linear-recurrence scan"
-            }
-        );
-        // The rejection is spec-shaped, not a malformed-request bug, and
-        // fires even when the rest of the request is flawless — including
-        // the degenerate coeffs = [1] that *would* equal a prefix sum.
-        let err = service
-            .scan(ScanRequest::inclusive("iir", vec![5]).with_recurrence(vec![1]))
+            .scan(
+                ScanRequest::inclusive("iir", vec![1, 2])
+                    .with_recurrence(vec![2])
+                    .with_heads(vec![false, true]),
+            )
             .unwrap_err();
         assert!(matches!(err, RequestError::UnsupportedSpec { .. }));
-        // The service keeps serving plain requests afterwards.
-        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![7])).unwrap(), vec![7]);
+        let err = service
+            .scan(ScanRequest::inclusive("iir", vec![1]).with_recurrence(Vec::new()))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::BadRecurrence(_)));
+        let err = service
+            .scan(ScanRequest::inclusive("iir", vec![1]).with_recurrence(vec![1; 65]))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::BadRecurrence(_)));
+        service.shutdown();
+    }
+
+    #[test]
+    fn streaming_frames_continue_the_scan_across_requests() {
+        let service = ScanService::start(ServiceConfig::default());
+        let frames: [&[i32]; 3] = [&[1, 2, 3], &[], &[4, 5]];
+        let one_shot = service
+            .scan(ScanRequest::inclusive("s", frames.concat()))
+            .unwrap();
+
+        let mut got = Vec::new();
+        let mut checkpoint: Option<Vec<u8>> = None;
+        for (i, frame) in frames.iter().enumerate() {
+            let mut request = ScanRequest::inclusive("s", frame.to_vec()).streaming();
+            if let Some(ck) = checkpoint.take() {
+                request = request.with_checkpoint(ck);
+            }
+            if i == frames.len() - 1 {
+                request.streaming = false; // final frame: no new checkpoint
+            }
+            let output = service.scan_streaming(request).unwrap();
+            got.extend_from_slice(&output.values);
+            checkpoint = output.checkpoint;
+            assert_eq!(checkpoint.is_some(), i < frames.len() - 1, "frame {i}");
+        }
+        assert_eq!(got, one_shot);
+        service.shutdown();
+    }
+
+    #[test]
+    fn streaming_recurrence_frames_match_the_one_shot_series() {
+        let service = ScanService::start(ServiceConfig::default());
+        let coeffs = vec![2, -1];
+        let values: Vec<i32> = (0..40).map(|i| i % 7 - 3).collect();
+        let one_shot = service
+            .scan(ScanRequest::inclusive("r", values.clone()).with_recurrence(coeffs.clone()))
+            .unwrap();
+        let mut got = Vec::new();
+        let mut checkpoint: Option<Vec<u8>> = None;
+        for frame in values.chunks(7) {
+            let mut request = ScanRequest::inclusive("r", frame.to_vec())
+                .with_recurrence(coeffs.clone())
+                .streaming();
+            if let Some(ck) = checkpoint.take() {
+                request = request.with_checkpoint(ck);
+            }
+            let output = service.scan_streaming(request).unwrap();
+            got.extend_from_slice(&output.values);
+            checkpoint = output.checkpoint;
+        }
+        assert_eq!(got, one_shot);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mismatched_and_corrupt_checkpoints_are_rejected() {
+        let service = ScanService::start(ServiceConfig::default());
+        // Corrupt bytes fail at admission.
+        let err = service
+            .scan(ScanRequest::inclusive("s", vec![1]).with_checkpoint(vec![0xde, 0xad]))
+            .unwrap_err();
+        assert!(matches!(err, RequestError::BadCheckpoint(_)));
+        // A sum checkpoint cannot resume a recurrence stream (and vice
+        // versa): the operator fingerprint catches it at resume time.
+        let sum_ck = service
+            .scan_streaming(ScanRequest::inclusive("s", vec![1, 2]).streaming())
+            .unwrap()
+            .checkpoint
+            .unwrap();
+        let err = service
+            .scan(
+                ScanRequest::inclusive("s", vec![3])
+                    .with_recurrence(vec![2])
+                    .with_checkpoint(sum_ck.clone()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RequestError::BadCheckpoint(_)), "{err:?}");
+        // Heads cannot ride a streaming frame.
+        let err = service
+            .scan(
+                ScanRequest::inclusive("s", vec![1, 2])
+                    .with_checkpoint(sum_ck)
+                    .with_heads(vec![true, false]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RequestError::UnsupportedSpec { .. }));
+        service.shutdown();
+    }
+
+    #[test]
+    fn lane_population_is_bounded() {
+        let service = ScanService::start(ServiceConfig::default().with_max_lanes(2));
+        assert_eq!(service.scan(ScanRequest::inclusive("t", vec![1])).unwrap(), vec![1]);
+        service
+            .scan(ScanRequest::inclusive("t", vec![1]).with_recurrence(vec![2]))
+            .unwrap();
+        let err = service
+            .scan(ScanRequest::inclusive("t", vec![1]).with_recurrence(vec![3]))
+            .unwrap_err();
+        assert_eq!(err, RequestError::LanesExhausted { max: 2 });
+        // Existing lanes keep serving.
+        service
+            .scan(ScanRequest::inclusive("t", vec![1]).with_recurrence(vec![2]))
+            .unwrap();
         service.shutdown();
     }
 
@@ -576,17 +1060,22 @@ mod tests {
     }
 
     #[test]
-    fn metrics_attribute_per_tenant() {
+    fn metrics_attribute_per_tenant_and_per_lane() {
         let service = ScanService::start(ServiceConfig::default());
         service.scan(ScanRequest::inclusive("a", vec![1, 2, 3])).unwrap();
         service.scan(ScanRequest::inclusive("b", vec![4])).unwrap();
         service.scan(ScanRequest::inclusive("a", vec![5, 6])).unwrap();
+        service
+            .scan(ScanRequest::inclusive("a", vec![1, 1]).with_recurrence(vec![3]))
+            .unwrap();
         let m = service.metrics();
-        assert_eq!(m.requests, 3);
-        assert_eq!(m.tenants["a"].requests, 2);
-        assert_eq!(m.tenants["a"].elements, 5);
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.tenants["a"].requests, 3);
+        assert_eq!(m.tenants["a"].elements, 7);
         assert_eq!(m.tenants["b"].requests, 1);
         assert_eq!(m.tenants["b"].elements, 1);
+        assert_eq!(m.lanes["sum"].requests, 3);
+        assert_eq!(m.lanes["rec[3]"].requests, 1);
         service.shutdown();
     }
 }

@@ -1,7 +1,9 @@
 //! The `sam_serviced` wire protocol: length-prefixed little-endian
-//! frames over a Unix-domain socket, with a fully fallible decoder — a
-//! malformed or truncated frame from one client produces an error
-//! response (or closes that connection), never a server panic.
+//! frames over a Unix-domain or TCP socket, with a fully fallible codec —
+//! a malformed or truncated frame from one client produces an error
+//! response (or closes that connection), never a server panic, and an
+//! unencodable field fails the *encoder* ([`WireError::FieldTooLong`])
+//! instead of silently truncating on the wire.
 //!
 //! Frame layout (all integers little-endian):
 //!
@@ -13,14 +15,23 @@
 //!             u32 n, n * i32 values
 //!             u8 has_heads, [n * u8 heads if 1]
 //!             u8 has_recurrence, [u16 k, k * i32 coeffs if 1]
-//! response := u8 status (0 ok)
-//!             ok:  u32 n, n * i32 outputs
-//!             err: u16 msg_len, msg (utf-8)
+//!             u8 stream_flags (bit0 keep streaming, bit1 has checkpoint)
+//!             [u32 ckpt_len, ckpt bytes if bit1]
+//! response := u8 status (0 ok, 1 error, 2 ok + checkpoint)
+//!             0:   u32 n, n * i32 outputs
+//!             1:   u16 msg_len, msg (utf-8)
+//!             2:   u32 n, n * i32 outputs, u32 ckpt_len, ckpt bytes
 //! ```
+//!
+//! The stream-flags byte is mandatory (a scan frame without it is
+//! [`WireError::Truncated`]); undefined flag bits are rejected rather
+//! than ignored so they stay available for future revisions.
 
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
 
-use crate::{ScanKind, ScanRequest};
+use crate::{ScanKind, ScanOutput, ScanRequest};
 
 /// Hard ceiling on a frame's payload, bounding what one client can make
 /// the server allocate (a scan of `MAX_FRAME / 4` elements is already far
@@ -32,6 +43,13 @@ pub const OP_SCAN: u8 = 0;
 /// Request opcode: ask the server to shut down gracefully.
 pub const OP_SHUTDOWN: u8 = 1;
 
+/// Stream-flags bit: the client wants a carry checkpoint back
+/// ([`ScanRequest::streaming`]).
+pub const FLAG_STREAMING: u8 = 1;
+/// Stream-flags bit: the frame carries a resume checkpoint
+/// ([`ScanRequest::checkpoint`]).
+pub const FLAG_HAS_CHECKPOINT: u8 = 2;
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -41,7 +59,7 @@ pub enum Request {
     Shutdown,
 }
 
-/// Why a frame could not be decoded.
+/// Why a frame could not be encoded or decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// The payload ended before a declared field.
@@ -52,10 +70,28 @@ pub enum WireError {
     BadOpcode(u8),
     /// Unknown scan-kind byte.
     BadKind(u8),
+    /// Undefined stream-flags bits were set.
+    BadStreamFlags(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
     /// Tenant bytes are not UTF-8.
     BadTenant,
     /// Unconsumed bytes after the declared fields.
     TrailingBytes(usize),
+    /// An *encoder-side* rejection: the named field does not fit its wire
+    /// representation. The request is refused before any bytes are
+    /// written — never clamped to fit, which would silently change its
+    /// meaning (a truncated tenant misattributes metrics; a truncated
+    /// coefficient list computes a different recurrence).
+    FieldTooLong {
+        /// Which field overflowed (`"tenant"`, `"recurrence coefficients"`,
+        /// `"values"`, `"checkpoint"`, `"error message"`).
+        field: &'static str,
+        /// The field's actual length.
+        len: usize,
+        /// The wire format's ceiling for it.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -65,8 +101,13 @@ impl std::fmt::Display for WireError {
             WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
             WireError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
             WireError::BadKind(k) => write!(f, "unknown scan kind {k}"),
+            WireError::BadStreamFlags(b) => write!(f, "undefined stream-flag bits in {b:#04x}"),
+            WireError::BadStatus(s) => write!(f, "unknown response status {s}"),
             WireError::BadTenant => write!(f, "tenant is not valid utf-8"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after request"),
+            WireError::FieldTooLong { field, len, max } => {
+                write!(f, "{field} of length {len} exceeds the wire maximum {max}")
+            }
         }
     }
 }
@@ -138,12 +179,27 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                     )
                 }
             };
+            let flags = take_u8(&mut rest)?;
+            if flags & !(FLAG_STREAMING | FLAG_HAS_CHECKPOINT) != 0 {
+                return Err(WireError::BadStreamFlags(flags));
+            }
+            let checkpoint = if flags & FLAG_HAS_CHECKPOINT != 0 {
+                let ckpt_len = take_u32(&mut rest)? as usize;
+                if ckpt_len > MAX_FRAME {
+                    return Err(WireError::Oversized(ckpt_len));
+                }
+                Some(take(&mut rest, ckpt_len)?.to_vec())
+            } else {
+                None
+            };
             Request::Scan(ScanRequest {
                 tenant,
                 kind,
                 values,
                 heads,
                 recurrence,
+                streaming: flags & FLAG_STREAMING != 0,
+                checkpoint,
             })
         }
         op => return Err(WireError::BadOpcode(op)),
@@ -155,16 +211,60 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 }
 
 /// Encodes a scan request payload (without the length prefix).
-pub fn encode_scan(request: &ScanRequest) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + request.tenant.len() + request.values.len() * 5);
+///
+/// # Errors
+///
+/// [`WireError::FieldTooLong`] when the tenant name or recurrence
+/// coefficient list overflows its `u16` length prefix, or when `values`
+/// could not fit a [`MAX_FRAME`] payload — the request is *rejected*, not
+/// clamped, because a silently shortened field would execute a different
+/// request than the caller built. [`WireError::Oversized`] when the
+/// assembled payload nevertheless exceeds [`MAX_FRAME`] (e.g. values plus
+/// a large checkpoint).
+pub fn encode_scan(request: &ScanRequest) -> Result<Vec<u8>, WireError> {
+    let tenant = request.tenant.as_bytes();
+    if tenant.len() > u16::MAX as usize {
+        return Err(WireError::FieldTooLong {
+            field: "tenant",
+            len: tenant.len(),
+            max: u16::MAX as usize,
+        });
+    }
+    if request.values.len() > MAX_FRAME / 4 {
+        // Client-side bound: a request this large dies at the server's
+        // frame cap anyway — fail before the doomed round-trip.
+        return Err(WireError::FieldTooLong {
+            field: "values",
+            len: request.values.len(),
+            max: MAX_FRAME / 4,
+        });
+    }
+    if let Some(coeffs) = &request.recurrence {
+        if coeffs.len() > u16::MAX as usize {
+            return Err(WireError::FieldTooLong {
+                field: "recurrence coefficients",
+                len: coeffs.len(),
+                max: u16::MAX as usize,
+            });
+        }
+    }
+    if let Some(ckpt) = &request.checkpoint {
+        if ckpt.len() > MAX_FRAME {
+            return Err(WireError::FieldTooLong {
+                field: "checkpoint",
+                len: ckpt.len(),
+                max: MAX_FRAME,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(16 + tenant.len() + request.values.len() * 5);
     out.push(OP_SCAN);
     out.push(match request.kind {
         ScanKind::Inclusive => 0,
         ScanKind::Exclusive => 1,
     });
-    let tenant = request.tenant.as_bytes();
-    out.extend_from_slice(&(tenant.len().min(u16::MAX as usize) as u16).to_le_bytes());
-    out.extend_from_slice(&tenant[..tenant.len().min(u16::MAX as usize)]);
+    out.extend_from_slice(&(tenant.len() as u16).to_le_bytes());
+    out.extend_from_slice(tenant);
     out.extend_from_slice(&(request.values.len() as u32).to_le_bytes());
     for v in &request.values {
         out.extend_from_slice(&v.to_le_bytes());
@@ -179,14 +279,28 @@ pub fn encode_scan(request: &ScanRequest) -> Vec<u8> {
         None => out.push(0),
         Some(coeffs) => {
             out.push(1);
-            let k = coeffs.len().min(u16::MAX as usize);
-            out.extend_from_slice(&(k as u16).to_le_bytes());
-            for c in &coeffs[..k] {
+            out.extend_from_slice(&(coeffs.len() as u16).to_le_bytes());
+            for c in coeffs {
                 out.extend_from_slice(&c.to_le_bytes());
             }
         }
     }
-    out
+    let mut flags = 0u8;
+    if request.streaming {
+        flags |= FLAG_STREAMING;
+    }
+    if request.checkpoint.is_some() {
+        flags |= FLAG_HAS_CHECKPOINT;
+    }
+    out.push(flags);
+    if let Some(ckpt) = &request.checkpoint {
+        out.extend_from_slice(&(ckpt.len() as u32).to_le_bytes());
+        out.extend_from_slice(ckpt);
+    }
+    if out.len() > MAX_FRAME {
+        return Err(WireError::Oversized(out.len()));
+    }
+    Ok(out)
 }
 
 /// Encodes the shutdown request payload.
@@ -194,50 +308,109 @@ pub fn encode_shutdown() -> Vec<u8> {
     vec![OP_SHUTDOWN]
 }
 
-/// Encodes a response payload: `Ok` outputs or an error message.
-pub fn encode_response(result: &Result<Vec<i32>, String>) -> Vec<u8> {
+/// Encodes a response payload: `Ok` outputs (with status 2 when a
+/// checkpoint rides along) or an error message.
+///
+/// # Errors
+///
+/// [`WireError::FieldTooLong`] when the error message overflows its `u16`
+/// length prefix (see [`encode_response_lossy`] for the server-side
+/// fallback); [`WireError::Oversized`] when the outputs cannot fit a
+/// [`MAX_FRAME`] payload.
+pub fn encode_response(result: &Result<ScanOutput, String>) -> Result<Vec<u8>, WireError> {
     match result {
-        Ok(values) => {
-            let mut out = Vec::with_capacity(5 + values.len() * 4);
-            out.push(0);
-            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
-            for v in values {
+        Ok(output) => {
+            let mut out = Vec::with_capacity(13 + output.values.len() * 4);
+            out.push(if output.checkpoint.is_some() { 2 } else { 0 });
+            out.extend_from_slice(&(output.values.len() as u32).to_le_bytes());
+            for v in &output.values {
                 out.extend_from_slice(&v.to_le_bytes());
             }
-            out
+            if let Some(ckpt) = &output.checkpoint {
+                out.extend_from_slice(&(ckpt.len() as u32).to_le_bytes());
+                out.extend_from_slice(ckpt);
+            }
+            if out.len() > MAX_FRAME {
+                return Err(WireError::Oversized(out.len()));
+            }
+            Ok(out)
         }
         Err(msg) => {
             let bytes = msg.as_bytes();
-            let len = bytes.len().min(u16::MAX as usize);
-            let mut out = Vec::with_capacity(3 + len);
+            if bytes.len() > u16::MAX as usize {
+                return Err(WireError::FieldTooLong {
+                    field: "error message",
+                    len: bytes.len(),
+                    max: u16::MAX as usize,
+                });
+            }
+            let mut out = Vec::with_capacity(3 + bytes.len());
             out.push(1);
-            out.extend_from_slice(&(len as u16).to_le_bytes());
-            out.extend_from_slice(&bytes[..len]);
-            out
+            out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            out.extend_from_slice(bytes);
+            Ok(out)
+        }
+    }
+}
+
+/// Server-side [`encode_response`] that always produces a frame: an error
+/// message too long for the wire is *explicitly* shortened (at a UTF-8
+/// character boundary, with a marker) rather than byte-clamped, and an
+/// unencodable success degrades to an error response. A daemon must reply
+/// with *something* or the client hangs — but the shortening happens
+/// here, visibly, not as a silent side effect of the codec.
+pub fn encode_response_lossy(result: &Result<ScanOutput, String>) -> Vec<u8> {
+    match encode_response(result) {
+        Ok(frame) => frame,
+        Err(WireError::FieldTooLong { max, .. }) => {
+            let msg = result.as_ref().expect_err("success never overflows u16");
+            let keep = max.saturating_sub(16); // room for the marker
+            let mut cut = keep.min(msg.len());
+            while cut > 0 && !msg.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let shortened = format!("{}…[shortened]", &msg[..cut]);
+            encode_response(&Err(shortened)).expect("shortened message fits")
+        }
+        Err(err) => {
+            let fallback = format!("response unencodable: {err}");
+            encode_response(&Err(fallback)).expect("fallback message fits")
         }
     }
 }
 
 /// Decodes a response payload.
-pub fn decode_response(payload: &[u8]) -> Result<Result<Vec<i32>, String>, WireError> {
+pub fn decode_response(payload: &[u8]) -> Result<Result<ScanOutput, String>, WireError> {
     let mut rest = payload;
-    let result = match take_u8(&mut rest)? {
-        0 => {
+    let status = take_u8(&mut rest)?;
+    let result = match status {
+        0 | 2 => {
             let n = take_u32(&mut rest)? as usize;
             if n > MAX_FRAME / 4 {
                 return Err(WireError::Oversized(n));
             }
             let raw = take(&mut rest, n * 4)?;
-            Ok(raw
+            let values = raw
                 .chunks_exact(4)
                 .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect())
+                .collect();
+            let checkpoint = if status == 2 {
+                let ckpt_len = take_u32(&mut rest)? as usize;
+                if ckpt_len > MAX_FRAME {
+                    return Err(WireError::Oversized(ckpt_len));
+                }
+                Some(take(&mut rest, ckpt_len)?.to_vec())
+            } else {
+                None
+            };
+            Ok(ScanOutput { values, checkpoint })
         }
-        _ => {
+        1 => {
             let len = take_u16(&mut rest)? as usize;
             let msg = String::from_utf8_lossy(take(&mut rest, len)?).into_owned();
             Err(msg)
         }
+        s => return Err(WireError::BadStatus(s)),
     };
     if !rest.is_empty() {
         return Err(WireError::TrailingBytes(rest.len()));
@@ -274,29 +447,98 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// A minimal blocking client for `sam_serviced` over a Unix socket.
-#[derive(Debug)]
-pub struct Client {
-    stream: std::os::unix::net::UnixStream,
+fn invalid_input(err: WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, err)
 }
 
-impl Client {
-    /// Connects to a running server.
-    pub fn connect(path: impl AsRef<std::path::Path>) -> std::io::Result<Client> {
-        Ok(Client {
-            stream: std::os::unix::net::UnixStream::connect(path)?,
-        })
+fn invalid_data(err: WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, err)
+}
+
+/// A minimal blocking client for `sam_serviced`, over a Unix socket
+/// ([`Client::connect`]) or TCP ([`Client::connect_tcp`]) — or any other
+/// byte stream via [`Client::from_stream`].
+///
+/// Besides the one-round-trip [`Client::scan`], the split
+/// [`Client::send_scan`] / [`Client::recv`] pair pipelines: a load
+/// generator can keep several requests in flight per connection and the
+/// server answers in order, which is what hides a real network's
+/// round-trip latency (the framing carries no request IDs — responses are
+/// strictly FIFO per connection).
+#[derive(Debug)]
+pub struct Client<S: Read + Write = UnixStream> {
+    stream: S,
+    /// Responses owed by the server (sent but not yet received).
+    in_flight: usize,
+}
+
+impl Client<UnixStream> {
+    /// Connects to a running server's Unix socket.
+    pub fn connect(path: impl AsRef<std::path::Path>) -> std::io::Result<Client<UnixStream>> {
+        Ok(Client::from_stream(UnixStream::connect(path)?))
+    }
+}
+
+impl Client<TcpStream> {
+    /// Connects to a running server's TCP listener. Disables Nagle's
+    /// algorithm: the protocol is request/response and a delayed partial
+    /// frame would stall the pipeline.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client::from_stream(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected byte stream.
+    pub fn from_stream(stream: S) -> Client<S> {
+        Client {
+            stream,
+            in_flight: 0,
+        }
     }
 
-    /// Executes one scan request and returns its outputs, or the server's
-    /// error message.
-    pub fn scan(&mut self, request: &ScanRequest) -> std::io::Result<Result<Vec<i32>, String>> {
-        write_frame(&mut self.stream, &encode_scan(request))?;
+    /// Responses currently owed by the server ([`Client::send_scan`] calls
+    /// not yet matched by [`Client::recv`]).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Sends one scan request without waiting for its response
+    /// (pipelining). An unencodable request fails with
+    /// `ErrorKind::InvalidInput` before any bytes are written.
+    pub fn send_scan(&mut self, request: &ScanRequest) -> std::io::Result<()> {
+        let payload = encode_scan(request).map_err(invalid_input)?;
+        write_frame(&mut self.stream, &payload)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Receives the next pipelined response, in send order.
+    pub fn recv(&mut self) -> std::io::Result<Result<ScanOutput, String>> {
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up")
         })?;
-        decode_response(&payload)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        self.in_flight = self.in_flight.saturating_sub(1);
+        decode_response(&payload).map_err(invalid_data)
+    }
+
+    /// Executes one scan request and returns its outputs, or the server's
+    /// error message. Streaming checkpoints are discarded; use
+    /// [`Client::scan_output`] to keep them.
+    pub fn scan(&mut self, request: &ScanRequest) -> std::io::Result<Result<Vec<i32>, String>> {
+        Ok(self.scan_output(request)?.map(|output| output.values))
+    }
+
+    /// [`Client::scan`] keeping the full [`ScanOutput`], including the
+    /// next-frame checkpoint of a streaming request.
+    pub fn scan_output(
+        &mut self,
+        request: &ScanRequest,
+    ) -> std::io::Result<Result<ScanOutput, String>> {
+        self.send_scan(request)?;
+        self.recv()
     }
 
     /// Asks the server to shut down gracefully; returns its acknowledgment.
@@ -305,8 +547,9 @@ impl Client {
         let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server hung up")
         })?;
-        decode_response(&payload)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Ok(decode_response(&payload)
+            .map_err(invalid_data)?
+            .map(|output| output.values))
     }
 }
 
@@ -314,41 +557,128 @@ impl Client {
 mod tests {
     use super::*;
 
+    fn roundtrip(req: &ScanRequest) {
+        let decoded = decode_request(&encode_scan(req).unwrap()).unwrap();
+        assert_eq!(decoded, Request::Scan(req.clone()));
+    }
+
     #[test]
     fn scan_request_roundtrips() {
-        let req = ScanRequest::exclusive("tenant-x", vec![1, -2, 3])
-            .with_heads(vec![true, false, true]);
-        let decoded = decode_request(&encode_scan(&req)).unwrap();
-        assert_eq!(decoded, Request::Scan(req));
+        roundtrip(&ScanRequest::exclusive("tenant-x", vec![1, -2, 3]).with_heads(vec![
+            true, false, true,
+        ]));
         assert_eq!(decode_request(&encode_shutdown()).unwrap(), Request::Shutdown);
     }
 
     #[test]
     fn recurrence_requests_roundtrip() {
-        // The wire speaks recurrence specs even though the batching
-        // service rejects them at admission — routing shards decode the
-        // request before deciding where it runs.
-        let req = ScanRequest::inclusive("iir", vec![4, 5, 6]).with_recurrence(vec![2, -1]);
-        let decoded = decode_request(&encode_scan(&req)).unwrap();
-        assert_eq!(decoded, Request::Scan(req));
+        roundtrip(&ScanRequest::inclusive("iir", vec![4, 5, 6]).with_recurrence(vec![2, -1]));
         // Empty coefficient vectors survive too (rejection is the
         // service's call, not the codec's).
-        let req = ScanRequest::inclusive("iir", vec![1]).with_recurrence(Vec::new());
-        let decoded = decode_request(&encode_scan(&req)).unwrap();
-        assert_eq!(decoded, Request::Scan(req));
+        roundtrip(&ScanRequest::inclusive("iir", vec![1]).with_recurrence(Vec::new()));
+    }
+
+    #[test]
+    fn streaming_requests_roundtrip() {
+        roundtrip(&ScanRequest::inclusive("s", vec![1, 2]).streaming());
+        roundtrip(&ScanRequest::inclusive("s", vec![3]).with_checkpoint(vec![7; 40]));
+        // Final frame: checkpoint, no further streaming.
+        let mut last = ScanRequest::inclusive("s", vec![4]).with_checkpoint(vec![0xab; 8]);
+        last.streaming = false;
+        roundtrip(&last);
+        // A zero-length checkpoint is distinct from no checkpoint.
+        roundtrip(&ScanRequest::inclusive("s", vec![5]).with_checkpoint(Vec::new()));
+    }
+
+    #[test]
+    fn undefined_stream_flags_are_rejected() {
+        let mut frame = encode_scan(&ScanRequest::inclusive("t", vec![1])).unwrap();
+        let flags = frame.len() - 1;
+        frame[flags] = 4;
+        assert_eq!(decode_request(&frame), Err(WireError::BadStreamFlags(4)));
+        // A lying checkpoint length is bounded before allocation.
+        frame[flags] = FLAG_HAS_CHECKPOINT;
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_request(&frame), Err(WireError::Oversized(_))));
     }
 
     #[test]
     fn response_roundtrips() {
-        let ok: Result<Vec<i32>, String> = Ok(vec![5, 10, -3]);
-        assert_eq!(decode_response(&encode_response(&ok)).unwrap(), ok);
-        let err: Result<Vec<i32>, String> = Err("queue full".into());
-        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+        let ok: Result<ScanOutput, String> = Ok(ScanOutput {
+            values: vec![5, 10, -3],
+            checkpoint: None,
+        });
+        assert_eq!(decode_response(&encode_response(&ok).unwrap()).unwrap(), ok);
+        let ok_ckpt: Result<ScanOutput, String> = Ok(ScanOutput {
+            values: vec![1],
+            checkpoint: Some(vec![0xca, 0xfe]),
+        });
+        let frame = encode_response(&ok_ckpt).unwrap();
+        assert_eq!(frame[0], 2);
+        assert_eq!(decode_response(&frame).unwrap(), ok_ckpt);
+        let err: Result<ScanOutput, String> = Err("queue full".into());
+        assert_eq!(decode_response(&encode_response(&err).unwrap()).unwrap(), err);
+        assert_eq!(decode_response(&[9]), Err(WireError::BadStatus(9)));
+    }
+
+    #[test]
+    fn oversized_tenant_is_an_error_not_a_truncation() {
+        let req = ScanRequest::inclusive("t".repeat(u16::MAX as usize + 1), vec![1]);
+        assert_eq!(
+            encode_scan(&req),
+            Err(WireError::FieldTooLong {
+                field: "tenant",
+                len: u16::MAX as usize + 1,
+                max: u16::MAX as usize,
+            })
+        );
+        // Exactly at the ceiling still round-trips.
+        roundtrip(&ScanRequest::inclusive("t".repeat(u16::MAX as usize), vec![1]));
+    }
+
+    #[test]
+    fn oversized_coefficient_list_is_an_error_not_a_truncation() {
+        let req = ScanRequest::inclusive("iir", vec![1])
+            .with_recurrence(vec![1; u16::MAX as usize + 1]);
+        assert_eq!(
+            encode_scan(&req),
+            Err(WireError::FieldTooLong {
+                field: "recurrence coefficients",
+                len: u16::MAX as usize + 1,
+                max: u16::MAX as usize,
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_values_fail_client_side_before_the_round_trip() {
+        let req = ScanRequest::inclusive("t", vec![0; MAX_FRAME / 4 + 1]);
+        assert!(matches!(
+            encode_scan(&req),
+            Err(WireError::FieldTooLong { field: "values", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_error_message_is_shortened_explicitly_not_clamped() {
+        let long = "é".repeat(40_000); // 2 bytes per char: 80k > u16::MAX
+        let result: Result<ScanOutput, String> = Err(long);
+        assert!(matches!(
+            encode_response(&result),
+            Err(WireError::FieldTooLong { field: "error message", .. })
+        ));
+        let frame = encode_response_lossy(&result);
+        let decoded = decode_response(&frame).unwrap().unwrap_err();
+        assert!(decoded.ends_with("…[shortened]"), "visible marker");
+        assert!(decoded.chars().all(|c| c == 'é' || "…[shortened]".contains(c)));
     }
 
     #[test]
     fn truncated_and_malformed_frames_are_errors_not_panics() {
-        let full = encode_scan(&ScanRequest::inclusive("t", vec![1, 2, 3]));
+        let full = encode_scan(
+            &ScanRequest::inclusive("t", vec![1, 2, 3]).with_checkpoint(vec![1, 2, 3, 4]),
+        )
+        .unwrap();
         for cut in 0..full.len() {
             assert!(
                 decode_request(&full[..cut]).is_err(),
@@ -382,6 +712,25 @@ mod tests {
                 .collect();
             let _ = decode_request(&bytes);
             let _ = decode_response(&bytes);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_frames_decode_or_error_without_panicking() {
+        // Flip bytes of a structurally valid frame (a cheap fuzz pass over
+        // the field boundaries the TCP transport also exercises).
+        let base = encode_scan(
+            &ScanRequest::exclusive("fuzz", vec![1, -2, 3])
+                .with_heads(vec![true, false, true])
+                .with_checkpoint(vec![9; 16]),
+        )
+        .unwrap();
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut frame = base.clone();
+                frame[i] ^= 1 << bit;
+                let _ = decode_request(&frame);
+            }
         }
     }
 }

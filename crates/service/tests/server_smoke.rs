@@ -5,6 +5,7 @@
 //! decoding, the shared coalescing service, and the shutdown path hold
 //! together as a process, not just as a library.
 
+use std::io::BufRead;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -38,6 +39,66 @@ fn connect_with_retry(socket: &std::path::Path) -> Client {
             Err(e) => panic!("server never came up on {}: {e}", socket.display()),
         }
     }
+}
+
+/// Spawns the daemon in TCP mode on an OS-picked port and returns the
+/// resolved address it announces on stdout.
+fn spawn_tcp_server(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sam_serviced"))
+        .arg("--tcp")
+        .arg("127.0.0.1:0")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sam_serviced --tcp");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its port")
+            .expect("read server stdout");
+        if let Some(addr) = line.strip_prefix("sam_serviced: listening on tcp ") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the server never blocks on a full pipe.
+    std::thread::spawn(move || lines.for_each(drop));
+    (child, addr)
+}
+
+fn await_clean_exit(server: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match server.try_wait().expect("wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exit status: {status:?}");
+                break;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            None => {
+                let _ = server.kill();
+                panic!("{what} did not exit after shutdown request");
+            }
+        }
+    }
+}
+
+fn linrec_oracle(values: &[i32], coeffs: &[i32]) -> Vec<i32> {
+    let mut hist = vec![0i32; coeffs.len()];
+    values
+        .iter()
+        .map(|&b| {
+            let y = coeffs
+                .iter()
+                .zip(&hist)
+                .fold(b, |acc, (&c, &h)| acc.wrapping_add(c.wrapping_mul(h)));
+            hist.rotate_right(1);
+            hist[0] = y;
+            y
+        })
+        .collect()
 }
 
 fn oracle(values: &[i32], heads: &[bool], kind: ScanKind) -> Vec<i32> {
@@ -78,7 +139,7 @@ fn concurrent_clients_get_correct_results_and_clean_shutdown() {
             let socket = socket.clone();
             scope.spawn(move || {
                 let mut client = connect_with_retry(&socket);
-                let mut state = (c as u64 + 1) * 0x9e3779b97f4a7c15;
+                let mut state = (c as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
                 for r in 0..per_client {
                     let n = (state % 40) as usize + 1;
                     let mut values = Vec::with_capacity(n);
@@ -169,20 +230,87 @@ fn chaos_panic_fails_the_batch_but_not_the_server() {
     assert_eq!(good.unwrap(), vec![1, 3, 6]);
 
     assert!(client.shutdown_server().expect("io").is_ok());
-    let deadline = Instant::now() + Duration::from_secs(20);
-    loop {
-        match server.try_wait().expect("wait") {
-            Some(status) => {
-                assert!(status.success());
-                break;
-            }
-            None if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(20))
-            }
-            None => {
-                let _ = server.kill();
-                panic!("chaos server did not exit");
-            }
+    await_clean_exit(&mut server, "chaos server");
+}
+
+/// TCP transport end-to-end: mixed sum/recurrence specs execute on their
+/// own lanes, streaming frames chain through wire checkpoints, oversized
+/// fields are refused client-side before any bytes move, and pipelined
+/// requests come back strictly in order.
+#[test]
+fn tcp_mode_serves_mixed_specs_streaming_and_field_bounds() {
+    let (mut server, addr) = spawn_tcp_server(&["--executors", "1"]);
+    let mut client = Client::connect_tcp(&addr).expect("connect tcp");
+
+    // Plain segmented sums work over TCP exactly as over the Unix socket.
+    let values = vec![5, -2, 7, 1];
+    let heads = vec![false, false, true, false];
+    let request = ScanRequest::inclusive("tcp-sum", values.clone()).with_heads(heads.clone());
+    let got = client.scan(&request).expect("io").expect("sum served");
+    assert_eq!(got, oracle(&values, &heads, ScanKind::Inclusive));
+
+    // A linear-recurrence request executes on its own lane instead of
+    // bouncing with "unsupported spec".
+    let values = vec![1, 1, 2, -3, 5, 8];
+    let coeffs = vec![1, 1];
+    let request =
+        ScanRequest::inclusive("tcp-fib", values.clone()).with_recurrence(coeffs.clone());
+    let got = client.scan(&request).expect("io").expect("recurrence served");
+    assert_eq!(got, linrec_oracle(&values, &coeffs));
+
+    // Streaming: three frames chained by wire checkpoints reproduce the
+    // one-shot scan over the concatenated input. Non-final frames carry a
+    // checkpoint; the final frame (streaming cleared) must not.
+    let frames: [&[i32]; 3] = [&[1, 2, 3], &[4], &[5, 6, 7, 8]];
+    let flat: Vec<i32> = frames.concat();
+    let mut collected = Vec::new();
+    let mut checkpoint: Option<Vec<u8>> = None;
+    for (f, frame) in frames.iter().enumerate() {
+        let last = f + 1 == frames.len();
+        let mut request = ScanRequest::inclusive("tcp-stream", frame.to_vec())
+            .with_recurrence(vec![2, -1])
+            .streaming();
+        if let Some(ckpt) = checkpoint.take() {
+            request = request.with_checkpoint(ckpt);
         }
+        if last {
+            request.streaming = false;
+        }
+        let output = client
+            .scan_output(&request)
+            .expect("io")
+            .expect("streaming frame served");
+        assert_eq!(
+            output.checkpoint.is_some(),
+            !last,
+            "checkpoint only on non-final frames"
+        );
+        collected.extend(output.values);
+        checkpoint = output.checkpoint;
     }
+    assert_eq!(collected, linrec_oracle(&flat, &[2, -1]));
+
+    // A tenant name the wire format cannot carry is refused before the
+    // round trip — no truncated alias ever reaches the server — and the
+    // connection stays usable because nothing was written.
+    let oversized = ScanRequest::inclusive("t".repeat(70_000), vec![1, 2, 3]);
+    let err = client.send_scan(&oversized).expect_err("oversized tenant must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert_eq!(client.in_flight(), 0, "refused request left no frame in flight");
+
+    // Pipelining: several requests on the wire at once, responses FIFO.
+    let depth = 16;
+    for i in 0..depth {
+        client
+            .send_scan(&ScanRequest::inclusive("tcp-pipe", vec![i, i, i]))
+            .expect("io");
+    }
+    assert_eq!(client.in_flight(), depth as usize);
+    for i in 0..depth {
+        let got = client.recv().expect("io").expect("pipelined response");
+        assert_eq!(got.values, vec![i, 2 * i, 3 * i]);
+    }
+
+    assert!(client.shutdown_server().expect("io").is_ok());
+    await_clean_exit(&mut server, "tcp server");
 }

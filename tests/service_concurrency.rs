@@ -1,12 +1,15 @@
 //! Service-layer concurrency invariants: coalesced batches are
 //! bit-identical to per-request serial scans across the engine grid
-//! (hostile schedules included), a panicking handler fails only its
-//! batch, backpressure sheds instead of blocking, and metrics attribute
-//! work per tenant.
+//! (hostile schedules included), mixed-spec submission streams (Sum
+//! lanes × recurrence lanes, interleaved tenants) route and execute
+//! correctly, streaming checkpoint chains continue scans exactly, a
+//! panicking handler fails only its batch, backpressure sheds instead of
+//! blocking, and metrics attribute work per tenant and per lane.
 //!
 //! The oracle is [`sam_core::segmented::scan_serial`] applied
-//! per-request — the definition the coalesced segmented launch must be
-//! indistinguishable from.
+//! per-request (or, for recurrence requests, the serial recurrence
+//! loop) — the definition the routed execution must be indistinguishable
+//! from.
 
 use std::sync::Arc;
 
@@ -18,8 +21,13 @@ use sam_core::{Engine, ScanKind};
 use sam_service::{RequestError, ScanRequest, ScanService, ServiceConfig};
 
 /// The per-request oracle: exactly what the tenant would get from a
-/// dedicated serial scan of their own request.
+/// dedicated serial scan of their own request — the segmented sum, or
+/// the serial recurrence loop (`y_i = b_i + Σ_j c_j·y_{i-1-j}`,
+/// exclusive outputs being the prediction `y_i - b_i`).
 fn oracle(request: &ScanRequest) -> Vec<i32> {
+    if let Some(coeffs) = &request.recurrence {
+        return serial_linrec(&request.values, coeffs, request.kind);
+    }
     let mut heads = if request.heads.is_empty() {
         vec![false; request.values.len()]
     } else {
@@ -29,6 +37,26 @@ fn oracle(request: &ScanRequest) -> Vec<i32> {
         *first = true;
     }
     scan_serial(&request.values, &heads, &Sum, request.kind)
+}
+
+fn serial_linrec(values: &[i32], coeffs: &[i32], kind: ScanKind) -> Vec<i32> {
+    let mut hist = vec![0i32; coeffs.len()];
+    values
+        .iter()
+        .map(|&b| {
+            let pred = coeffs
+                .iter()
+                .zip(&hist)
+                .fold(0i32, |a, (&c, &h)| a.wrapping_add(c.wrapping_mul(h)));
+            let y = b.wrapping_add(pred);
+            hist.rotate_right(1);
+            hist[0] = y;
+            match kind {
+                ScanKind::Inclusive => y,
+                ScanKind::Exclusive => pred,
+            }
+        })
+        .collect()
 }
 
 fn engine_grid() -> Vec<Engine> {
@@ -73,6 +101,33 @@ fn request_strategy() -> impl Strategy<Value = ScanRequest> {
             };
             ScanRequest::new(format!("tenant-{tenant}"), kind, values).with_heads(heads)
         })
+}
+
+/// Mixed-spec requests: plain/segmented sums interleaved with
+/// linear-recurrence requests over a small coefficient pool (so distinct
+/// requests share lanes often enough to coalesce, while several lanes
+/// stay live at once). Recurrence requests carry no heads — the service
+/// rejects that combination by design.
+fn mixed_request_strategy() -> impl Strategy<Value = ScanRequest> {
+    let maybe_coeffs = prop_oneof![
+        Just(None),
+        Just(None),
+        Just(Some(vec![2i32])),
+        Just(Some(vec![1i32])),
+        Just(Some(vec![2i32, -1])),
+        Just(Some(vec![1i32, 1])),
+        Just(Some(vec![1i32, 0, 1])),
+    ];
+    (request_strategy(), maybe_coeffs).prop_map(|(request, coeffs)| {
+        match coeffs {
+            None => request,
+            Some(coeffs) => {
+                let mut request = request.with_recurrence(coeffs);
+                request.heads = Vec::new();
+                request
+            }
+        }
+    })
 }
 
 proptest! {
@@ -150,6 +205,150 @@ proptest! {
             let got = service.scan(request.clone()).expect("request succeeds");
             prop_assert_eq!(got, expect);
         }
+        service.shutdown();
+    }
+
+    /// The sharded router is invisible: mixed-spec submission streams
+    /// (Sum × several recurrence families, interleaved tenants, concurrent
+    /// submitters) return exactly what a dedicated serial execution of
+    /// each request would, and lane metrics account for every request.
+    #[test]
+    fn mixed_spec_streams_match_per_request_serial_oracles(
+        requests in prop::collection::vec(mixed_request_strategy(), 1..40),
+        engine_idx in 0usize..4,
+        max_batch_requests in prop_oneof![Just(1usize), Just(3), Just(256)],
+        submit_threads in 1usize..4,
+    ) {
+        let cfg = ServiceConfig::default()
+            .with_engine(engine_grid().swap_remove(engine_idx))
+            .with_batch_limits(max_batch_requests, 1 << 20);
+        let service = ScanService::start(cfg);
+        let expected: Vec<Vec<i32>> = requests.iter().map(oracle).collect();
+        let results: Vec<Vec<i32>> = std::thread::scope(|scope| {
+            let service = &service;
+            let chunks: Vec<Vec<(usize, ScanRequest)>> = (0..submit_threads)
+                .map(|t| {
+                    requests
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(submit_threads)
+                        .map(|(i, r)| (i, r.clone()))
+                        .collect()
+                })
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, request)| {
+                                (i, service.scan(request).expect("request succeeds"))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut results = vec![Vec::new(); requests.len()];
+            for handle in handles {
+                for (i, out) in handle.join().expect("submitter") {
+                    results[i] = out;
+                }
+            }
+            results
+        });
+        prop_assert_eq!(results, expected);
+        let metrics = service.metrics();
+        prop_assert_eq!(metrics.requests, requests.len() as u64);
+        let lane_requests: u64 = metrics.lanes.values().map(|l| l.requests).sum();
+        prop_assert_eq!(lane_requests, requests.len() as u64);
+        service.shutdown();
+    }
+
+    /// Mixed-spec identity under adversarial worker scheduling: the
+    /// recurrence lanes ride the same engine pool as the Sum lane, and
+    /// hostile publish orders must not change a single output bit.
+    #[test]
+    fn mixed_spec_streams_survive_hostile_schedules(
+        requests in prop::collection::vec(mixed_request_strategy(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ServiceConfig::default().with_engine(hostile_engine(seed));
+        let service = ScanService::start(cfg);
+        for request in &requests {
+            let expect = oracle(request);
+            let got = service.scan(request.clone()).expect("request succeeds");
+            prop_assert_eq!(got, expect);
+        }
+        service.shutdown();
+    }
+
+    /// Streaming checkpoint chains are exact: any partition of a sequence
+    /// into frames, fed with checkpoints carried between requests,
+    /// concatenates to the one-shot result — for sums and recurrences
+    /// alike, even when unrelated traffic interleaves with the stream.
+    #[test]
+    fn streaming_checkpoint_chains_match_one_shot_scans(
+        values in prop::collection::vec(any::<i32>(), 0..120),
+        frame_len in 1usize..17,
+        kind in prop_oneof![Just(ScanKind::Inclusive), Just(ScanKind::Exclusive)],
+        coeffs in prop_oneof![
+            Just(None),
+            Just(Some(vec![2i32])),
+            Just(Some(vec![2i32, -1])),
+        ],
+        noise in any::<bool>(),
+    ) {
+        let service = ScanService::start(ServiceConfig::default());
+        let one_shot_request = match &coeffs {
+            None => ScanRequest::new("stream", kind, values.clone()),
+            Some(c) => {
+                ScanRequest::new("stream", kind, values.clone()).with_recurrence(c.clone())
+            }
+        };
+        let expect = oracle(&one_shot_request);
+        prop_assert_eq!(
+            service.scan(one_shot_request.clone()).expect("one-shot"),
+            expect.clone(),
+            "one-shot request disagrees with the serial oracle"
+        );
+
+        let mut got = Vec::new();
+        let mut checkpoint: Option<Vec<u8>> = None;
+        let frames: Vec<&[i32]> = values.chunks(frame_len).collect();
+        for (f, frame) in frames.iter().enumerate() {
+            let mut request = match &coeffs {
+                None => ScanRequest::new("stream", kind, frame.to_vec()),
+                Some(c) => {
+                    ScanRequest::new("stream", kind, frame.to_vec()).with_recurrence(c.clone())
+                }
+            }
+            .streaming();
+            if let Some(ck) = checkpoint.take() {
+                request = request.with_checkpoint(ck);
+            }
+            if f == frames.len() - 1 {
+                request.streaming = false;
+            }
+            let output = service.scan_streaming(request).expect("frame succeeds");
+            got.extend_from_slice(&output.values);
+            checkpoint = output.checkpoint;
+            prop_assert_eq!(checkpoint.is_some(), f < frames.len() - 1);
+            if noise {
+                // Foreign traffic between frames shares the lane's cached
+                // sessions; it must not perturb the resumed stream.
+                service.scan(ScanRequest::inclusive("noise", vec![9, 9, 9]))
+                    .expect("noise succeeds");
+                if let Some(c) = &coeffs {
+                    service
+                        .scan(ScanRequest::inclusive("noise", vec![1, 2])
+                            .with_recurrence(c.clone()))
+                        .expect("noise succeeds");
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
         service.shutdown();
     }
 }
